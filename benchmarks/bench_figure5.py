@@ -1,0 +1,46 @@
+"""Figure 5 benchmark: run time vs processors for Init_K ∈ {18, 19, 20}.
+
+Regenerates the Figure 5 series (simulated-Altix virtual seconds per
+processor count) into ``extra_info`` and benchmarks the simulation
+machinery itself.  The paper's claims checked here:
+
+* run times scale well up to 64 processors,
+* performance degrades a little at 256,
+* +1 Init_K roughly halves the run time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure5
+
+
+@pytest.fixture(scope="module")
+def result(traces, spec):
+    return figure5.run()
+
+
+def bench_figure5_sweep(benchmark, traces, spec):
+    """Full 1..256-processor replay sweep for the three Init_K series."""
+    res = benchmark.pedantic(
+        figure5.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    for k in (18, 19, 20):
+        series = {
+            p: round(res.seconds(k, p), 3)
+            for p in res.processor_counts
+        }
+        benchmark.extra_info[f"init_k_{k}_seconds"] = series
+
+
+def test_figure5_shapes(result):
+    """Assert the paper's qualitative claims on the regenerated series."""
+    for k in (18, 19, 20):
+        assert result.seconds(k, 64) < result.seconds(k, 1) / 20
+        assert result.seconds(k, 256) > result.seconds(k, 128) * 0.9
+    t18 = result.seconds(18, 1)
+    t19 = result.seconds(19, 1)
+    t20 = result.seconds(20, 1)
+    assert 1.4 < t18 / t19 < 2.8
+    assert 1.4 < t19 / t20 < 2.8

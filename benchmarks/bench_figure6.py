@@ -1,0 +1,38 @@
+"""Figure 6 benchmark: absolute + relative speedups up to 64 processors.
+
+Paper claims checked: relative speedups stay near 1.8 across doublings;
+absolute speedups track the ideal line closely through 64 processors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure6
+
+
+@pytest.fixture(scope="module")
+def result(traces, spec):
+    return figure6.run()
+
+
+def bench_figure6_speedups(benchmark, traces, spec):
+    """Speedup computation over the four Init_K series."""
+    res = benchmark.pedantic(
+        figure6.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    for k, series in res.absolute.items():
+        benchmark.extra_info[f"absolute_init_k_{k}"] = {
+            p: round(s, 2) for p, s in series.items()
+        }
+    for k, series in res.relative.items():
+        benchmark.extra_info[f"relative_init_k_{k}"] = {
+            p: round(s, 2) for p, s in series.items()
+        }
+
+
+def test_figure6_shapes(result):
+    for k in (3, 18, 19, 20):
+        assert 1.5 <= result.mean_relative(k) <= 2.0
+        # near-linear at 64: at least half the ideal slope
+        assert result.absolute[k][64] >= 20

@@ -1,0 +1,38 @@
+"""Figure 7 benchmark: 256-processor speedup vs sequential run time.
+
+Paper claim checked: the 256-processor absolute speedup increases with
+sequential run time (22x at 98 s up to 51x at 1,948 s).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure7
+
+
+@pytest.fixture(scope="module")
+def result(traces, spec):
+    return figure7.run()
+
+
+def bench_figure7_rows(benchmark, traces, spec):
+    res = benchmark.pedantic(
+        figure7.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    benchmark.extra_info["rows"] = [
+        {
+            "init_k": row.paper_init_k,
+            "t1": round(row.sequential_seconds, 1),
+            "t256": round(row.parallel_seconds, 2),
+            "speedup": round(row.speedup, 1),
+        }
+        for row in res.rows
+    ]
+
+
+def test_figure7_monotonicity(result):
+    assert result.is_monotone()
+    speedups = [r.speedup for r in result.rows]
+    assert min(speedups) > 10
+    assert max(speedups) < 110

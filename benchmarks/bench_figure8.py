@@ -1,0 +1,38 @@
+"""Figure 8 benchmark: per-processor load balance (mean ± std).
+
+Paper claim checked: with the centralised dynamic load balancer, the
+standard deviation of per-processor run times stays within 10 % of the
+mean for 2–16 processors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure8
+
+
+@pytest.fixture(scope="module")
+def result(traces, spec):
+    return figure8.run()
+
+
+def bench_figure8_balance(benchmark, traces, spec):
+    res = benchmark.pedantic(
+        figure8.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    benchmark.extra_info["balanced_std_over_mean"] = {
+        p: round(s.std_over_mean, 4) for p, s in res.balanced.items()
+    }
+    benchmark.extra_info["unbalanced_std_over_mean"] = {
+        p: round(s.std_over_mean, 4) for p, s in res.unbalanced.items()
+    }
+
+
+def test_figure8_balance_criterion(result):
+    assert result.max_std_over_mean() <= 0.10
+    for p in result.balanced:
+        assert (
+            result.balanced[p].std_over_mean
+            <= result.unbalanced[p].std_over_mean + 1e-9
+        )

@@ -1,0 +1,45 @@
+"""Figure 9 benchmark: candidate memory vs clique size.
+
+Paper claim checked: candidate storage rises with clique size to a peak
+near the middle of the range (13 of 28 on the myogenic graph, ~20 GB at
+full scale) and then falls quickly; the full enumeration from size 3 is
+benchmarked and the measured byte series recorded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure9
+
+
+@pytest.fixture(scope="module")
+def result(myogenic):
+    return figure9.run(myogenic)
+
+
+def bench_figure9_enumeration(benchmark, myogenic):
+    """Full enumeration with per-level memory accounting."""
+    res = benchmark.pedantic(
+        lambda: figure9.run(myogenic),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["series_bytes"] = dict(
+        zip(res.profile.sizes, res.profile.measured_bytes)
+    )
+    peak_k, peak_b = res.profile.peak()
+    benchmark.extra_info["peak_k"] = peak_k
+    benchmark.extra_info["peak_bytes"] = peak_b
+    benchmark.extra_info["paper_peak_fraction"] = round(
+        figure9.PAPER_PEAK_K / figure9.PAPER_MAX_CLIQUE, 2
+    )
+
+
+def test_figure9_shape(result):
+    sizes = result.profile.sizes
+    peak_k, peak_b = result.profile.peak()
+    assert sizes[0] < peak_k < sizes[-1]
+    assert 0.25 <= result.peak_fraction() <= 0.75
+    assert result.profile.measured_bytes[-1] < peak_b

@@ -1,0 +1,85 @@
+"""Microbenchmarks for the substrate hot paths.
+
+These pin the performance characteristics the framework depends on: the
+bitmap primitives (one AND per common-neighbor derivation, one
+any-bit-exists per maximality test), the expression pipeline stages, and
+the k-clique seeding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bio.correlation import spearman_correlation
+from repro.bio.expression import ModuleSpec, synthetic_expression
+from repro.core import bitset as bs
+from repro.core.generators import erdos_renyi
+from repro.core.graph_ops import at_least_k_of_n
+from repro.core.kclique import enumerate_k_cliques
+
+
+@pytest.fixture(scope="module")
+def words_pair():
+    n = 12422  # the paper's probe-set count
+    a = bs.indices_to_words(range(0, n, 3), n)
+    b = bs.indices_to_words(range(0, n, 5), n)
+    out = np.zeros_like(a)
+    return a, b, out
+
+
+def bench_words_and(benchmark, words_pair):
+    """Length-12,422 bit-string AND (the paper's core primitive)."""
+    a, b, out = words_pair
+    benchmark(bs.words_and, a, b, out)
+
+
+def bench_words_any(benchmark, words_pair):
+    """BitOneExists over 12,422 bits (the maximality test)."""
+    a, _, _ = words_pair
+    benchmark(bs.words_any, a)
+
+
+def bench_words_count(benchmark, words_pair):
+    """Popcount over 12,422 bits."""
+    a, _, _ = words_pair
+    benchmark(bs.words_count, a)
+
+
+def bench_common_neighbors_chain(benchmark):
+    """k-fold AND chain: common neighbors of a 10-clique at n=12,422."""
+    n = 12422
+    rows = np.vstack(
+        [bs.indices_to_words(range(i, n, 7 + i), n) for i in range(10)]
+    )
+    out = np.zeros(rows.shape[1], dtype=np.uint64)
+
+    def chain():
+        np.copyto(out, rows[0])
+        for i in range(1, 10):
+            np.bitwise_and(out, rows[i], out=out)
+        return out
+
+    benchmark(chain)
+
+
+def bench_spearman_1242_genes(benchmark):
+    """Spearman matrix at the Table 1 workload scale."""
+    ds = synthetic_expression(
+        1242, 64, [ModuleSpec(17, 0.985)], seed=1
+    )
+    benchmark(spearman_correlation, ds.matrix)
+
+
+def bench_at_least_3_of_5(benchmark):
+    """Replicate voting over five 500-vertex observation graphs."""
+    graphs = [erdos_renyi(500, 0.02, seed=s) for s in range(5)]
+    benchmark(at_least_k_of_n, graphs, 3)
+
+
+def bench_kclique_seeding(benchmark, myogenic):
+    """Init_K=9 seeding on the myogenic workload (k-clique enumerator)."""
+    res = benchmark(enumerate_k_cliques, myogenic.graph, 9)
+    benchmark.extra_info["n_kcliques"] = len(res.maximal) + len(
+        res.non_maximal
+    )

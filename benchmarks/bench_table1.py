@@ -1,0 +1,59 @@
+"""Table 1 benchmark: Kose RAM vs sequential Clique Enumerator.
+
+Paper row: 17,261 s (Kose) vs 45 s (Clique Enumerator) = 383x on the
+12,422-vertex 0.008 %-density graph, clique sizes 3–17, 1 GHz G4.
+
+Here: both algorithms on the scaled analog over the same size range;
+pytest-benchmark records the distributions, and the regenerated Table 1
+rows land in ``extra_info``.  Run with ``--benchmark-only``; print the
+full table via ``python -m repro.experiments.runner table1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clique_enumerator import enumerate_maximal_cliques
+from repro.core.kose import kose_enumerate
+from repro.experiments import table1
+
+
+@pytest.fixture(scope="module")
+def verified(brain_sparse):
+    """One verified comparison run; benches reuse its workload."""
+    result = table1.run(brain_sparse)
+    assert result.outputs_match, "Table 1 algorithms disagree"
+    return result
+
+
+def bench_clique_enumerator(benchmark, brain_sparse, verified):
+    """Sequential Clique Enumerator, sizes 3..17 (paper: 45 s)."""
+    g = brain_sparse.graph
+    res = benchmark.pedantic(
+        lambda: enumerate_maximal_cliques(g, k_min=3, k_max=17),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["paper_seconds"] = table1.PAPER["ce_seconds"]
+    benchmark.extra_info["n_maximal"] = len(res.cliques)
+    benchmark.extra_info["measured_speedup_vs_kose"] = round(
+        verified.speedup, 2
+    )
+    benchmark.extra_info["memory_ratio_vs_kose"] = round(
+        verified.memory_ratio, 2
+    )
+
+
+def bench_kose_ram(benchmark, brain_sparse):
+    """Kose et al. RAM baseline, sizes 3..17 (paper: 17,261 s)."""
+    g = brain_sparse.graph
+    res = benchmark.pedantic(
+        lambda: kose_enumerate(g, k_min=3, k_max=17),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["paper_seconds"] = table1.PAPER["kose_seconds"]
+    benchmark.extra_info["paper_speedup"] = table1.PAPER["speedup"]
+    benchmark.extra_info["n_maximal"] = len(res.cliques)

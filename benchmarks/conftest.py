@@ -1,0 +1,42 @@
+"""Shared session-scoped fixtures for the benchmark harness.
+
+Workloads and traces are expensive to build; they are cached for the whole
+benchmark session so each bench measures only its own target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.calibration import calibrated_spec, myogenic_trace
+from repro.experiments.workloads import (
+    mouse_brain_dense,
+    mouse_brain_sparse,
+    myogenic_like,
+)
+
+
+@pytest.fixture(scope="session")
+def brain_sparse():
+    return mouse_brain_sparse()
+
+
+@pytest.fixture(scope="session")
+def brain_dense():
+    return mouse_brain_dense()
+
+
+@pytest.fixture(scope="session")
+def myogenic():
+    return myogenic_like()
+
+
+@pytest.fixture(scope="session")
+def spec():
+    return calibrated_spec()
+
+
+@pytest.fixture(scope="session")
+def traces():
+    """Paper Init_K -> cached trace of the myogenic workload."""
+    return {k: myogenic_trace(k) for k in (18, 19, 20, 3)}

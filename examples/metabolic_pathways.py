@@ -1,0 +1,69 @@
+"""Extreme pathway analysis of metabolic networks.
+
+The paper's introduction puts extreme-pathway enumeration "at the core"
+of systemic pathway analysis.  This example builds metabolic models —
+including a small glycolysis-like chain with branches and a reversible
+isomerase — and enumerates their extreme pathways exactly, in rational
+arithmetic.
+
+Run:  python examples/metabolic_pathways.py
+"""
+
+from repro.bio.extreme_pathways import extreme_pathways
+from repro.bio.stoichiometry import MetabolicNetwork, Reaction, example_network
+
+
+def glycolysis_like() -> MetabolicNetwork:
+    """A branched toy central-carbon model.
+
+    Glucose is taken up and processed along a linear backbone with an
+    overflow branch (fermentation) and a biosynthetic drain, plus a
+    reversible isomerase step — enough structure for non-obvious
+    pathways without combinatorial blow-up.
+    """
+    return MetabolicNetwork(
+        [
+            Reaction("GLC_uptake", {"GLCext": -1, "G6P": 1}),
+            Reaction("PGI", {"G6P": -1, "F6P": 1}, reversible=True),
+            Reaction("PFK", {"F6P": -1, "FBP": 1}),
+            Reaction("ALD", {"FBP": -1, "PYR": 2}),
+            Reaction("biosynth", {"G6P": -1, "BIOM": 1}),
+            Reaction("biomass_drain", {"BIOM": -1, "BIOMext": 1}),
+            Reaction("PDC", {"PYR": -1, "ETH": 1}),
+            Reaction("eth_export", {"ETH": -1, "ETHext": 1}),
+            Reaction("pyr_export", {"PYR": -1, "PYRext": 1}),
+        ],
+        external={"GLCext", "BIOMext", "ETHext", "PYRext"},
+    )
+
+
+def show(name: str, net: MetabolicNetwork) -> None:
+    print(f"\n=== {name}: {net}")
+    result = extreme_pathways(net)
+    print(f"{len(result)} extreme pathways:")
+    for i, flux in enumerate(result.pathways):
+        active = ", ".join(
+            f"{rname}={f}"
+            for rname, f in zip(result.reaction_names, flux)
+            if f
+        )
+        print(f"  P{i + 1}: {active}")
+
+
+def main() -> None:
+    show("textbook branched network", example_network())
+    show("glycolysis-like model", glycolysis_like())
+
+    # every enumerated pathway satisfies steady state by construction;
+    # demonstrate the check explicitly on one of them
+    net = glycolysis_like()
+    result = extreme_pathways(net)
+    flux = result.pathways[0]
+    print(
+        f"\nsteady-state check for P1: "
+        f"S v = 0 holds -> {net.flux_is_steady(list(flux))}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Parallel clique enumeration: simulated Altix sweep + real processes.
+
+Demonstrates both halves of the parallel substrate:
+
+1. the trace-replay simulation of the paper's 256-processor SGI Altix —
+   record the enumeration once, replay it at any processor count, and
+   print the speedup/balance tables of Figures 5–8;
+2. the real ``multiprocessing`` backend executing the identical
+   level-synchronous algorithm on this machine's cores.
+
+Run:  python examples/parallel_scaling.py
+"""
+
+import time
+
+from repro.core.clique_enumerator import enumerate_maximal_cliques
+from repro.core.generators import planted_partition
+from repro.parallel import (
+    MachineSpec,
+    absolute_speedup,
+    enumerate_maximal_cliques_mp,
+    load_balance_stats,
+    record_trace,
+    simulate_processor_sweep,
+    speedup_table,
+)
+
+
+def main() -> None:
+    g, _ = planted_partition(
+        400, [16, 14, 13, 12, 11, 10, 9], p_in=0.95, p_out=0.015, seed=3
+    )
+    print(f"workload: {g}")
+
+    # --- trace once, simulate any processor count ------------------------
+    trace = record_trace(g, k_min=3)
+    print(
+        f"trace: {sum(len(l) for l in trace.levels)} sub-list expansions "
+        f"over {len(trace.levels)} levels, "
+        f"{trace.total_maximal} maximal cliques"
+    )
+    spec = MachineSpec(n_processors=1, seconds_per_work_unit=2e-7)
+    runs = simulate_processor_sweep(
+        trace, spec, [1, 2, 4, 8, 16, 32, 64, 128, 256]
+    )
+    print("\nsimulated Altix (virtual seconds):")
+    print(f"{'p':>4} {'T(p)':>10} {'speedup':>8} {'efficiency':>10}")
+    for p, tp, sp, eff in speedup_table(runs):
+        print(f"{p:>4} {tp:>10.4f} {sp:>8.1f} {eff:>10.2f}")
+
+    stats = load_balance_stats(runs[16])
+    print(
+        f"load balance at p=16: std/mean = {stats.std_over_mean:.1%}, "
+        f"{stats.n_transfers} transfers (paper bound: 10%)"
+    )
+
+    # --- real multiprocessing on this host ------------------------------
+    # First measure what the host can deliver at all: two processes
+    # burning pure numpy concurrently.  Containers often cap CPU
+    # bandwidth below the visible core count.
+    host_scaling = _raw_two_process_scaling()
+    print(
+        f"\nhost parallel capacity: 2-process raw numpy scaling = "
+        f"{host_scaling:.2f}x (ideal 2.0)"
+    )
+
+    print("real multiprocessing backend (partition-persistent workers):")
+    t0 = time.perf_counter()
+    seq = enumerate_maximal_cliques(g, k_min=3)
+    t_seq = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par = enumerate_maximal_cliques_mp(g, k_min=3, n_workers=2)
+    t_par = time.perf_counter() - t0
+
+    assert sorted(seq.cliques) == sorted(par.cliques)
+    print(f"  sequential: {t_seq:.2f}s   2 workers: {t_par:.2f}s")
+    print(
+        f"  identical output ({len(seq.cliques)} maximal cliques), "
+        f"{par.transfers} scheduler transfers; wall-clock ratio "
+        f"{t_seq / t_par:.2f}x against a host ceiling of "
+        f"{host_scaling:.2f}x"
+    )
+
+
+def _burn(q) -> None:
+    import numpy as np
+
+    t0 = time.perf_counter()
+    a = np.arange(2_000_000, dtype=np.uint64)
+    acc = 0
+    for _ in range(40):
+        acc += int(
+            np.bitwise_count(a & np.uint64(0x5555555555555555)).sum() & 7
+        )
+    q.put(time.perf_counter() - t0)
+
+
+def _raw_two_process_scaling() -> float:
+    """Measured speedup of two concurrent numpy burners vs one."""
+    import multiprocessing as mp
+
+    ctx = mp.get_context(
+        "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    )
+    q = ctx.Queue()
+    t0 = time.perf_counter()
+    p = ctx.Process(target=_burn, args=(q,))
+    p.start()
+    p.join()
+    single = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    procs = [ctx.Process(target=_burn, args=(q,)) for _ in range(2)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join()
+    double = time.perf_counter() - t0
+    return 2 * single / double if double > 0 else 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Cleaning noisy protein-interaction data with Boolean graph queries.
+
+The paper: two-hybrid screens carry "high potential for false positive
+identifications"; representing each experiment as a graph and running
+"at-least-k-of-n over multiple graphs" separates true interactions from
+noise.  This example simulates replicate screens of a ground-truth
+interactome, cleans them by voting, scores the recovery, and then mines
+the cleaned network for protein complexes (maximal cliques).
+
+Run:  python examples/ppi_cleaning.py
+"""
+
+from repro.bio.ppi import clean_by_voting, score_recovery, simulate_replicates
+from repro.core.clique_enumerator import enumerate_maximal_cliques
+from repro.core.generators import planted_partition
+
+
+def main() -> None:
+    # ground truth: protein complexes are dense blocks
+    truth, complexes = planted_partition(
+        200,
+        sizes=[8, 7, 6, 6, 5],
+        p_in=0.9,
+        p_out=0.01,
+        seed=11,
+    )
+    print(f"true interactome: {truth} with {len(complexes)} complexes")
+
+    # five replicate two-hybrid screens, each noisy
+    replicates = simulate_replicates(
+        truth, n_replicates=5, fp_rate=0.01, fn_rate=0.15, seed=99
+    )
+    print("\nper-replicate quality:")
+    for i, rep in enumerate(replicates):
+        s = score_recovery(truth, rep)
+        print(
+            f"  screen {i}: precision={s.precision:.3f} "
+            f"recall={s.recall:.3f} f1={s.f1:.3f}"
+        )
+
+    print("\nat-least-k-of-5 voting:")
+    for k in range(1, 6):
+        cleaned = clean_by_voting(replicates, k)
+        s = score_recovery(truth, cleaned)
+        print(
+            f"  k={k}: precision={s.precision:.3f} "
+            f"recall={s.recall:.3f} f1={s.f1:.3f} edges={cleaned.m}"
+        )
+
+    # complex discovery on the best cleaning
+    best = clean_by_voting(replicates, 3)
+    cliques = enumerate_maximal_cliques(best, k_min=4)
+    print(
+        f"\nmaximal cliques (size >= 4) in the cleaned network: "
+        f"{len(cliques.cliques)}"
+    )
+    clique_sets = [set(c) for c in cliques.cliques]
+    for i, cx in enumerate(complexes):
+        # a complex counts as found when some clique covers most of it
+        overlap = max(
+            (len(set(cx) & cs) / len(cx) for cs in clique_sets),
+            default=0.0,
+        )
+        print(f"  complex {i} (size {len(cx)}): best coverage {overlap:.0%}")
+
+
+if __name__ == "__main__":
+    main()

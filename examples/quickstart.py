@@ -1,0 +1,61 @@
+"""Quickstart: maximal clique enumeration on a small graph.
+
+Builds a graph, enumerates its maximal cliques with the paper's Clique
+Enumerator (non-decreasing size order), computes the maximum clique and a
+paraclique, and shows the bitmap data representation underneath.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BitSet,
+    Graph,
+    enumerate_maximal_cliques,
+    maximum_clique,
+    paraclique,
+)
+from repro.core.generators import planted_clique
+
+
+def main() -> None:
+    # --- a tiny hand-built graph --------------------------------------
+    g = Graph.from_edges(
+        7,
+        [
+            (0, 1), (0, 2), (1, 2),          # triangle {0,1,2}
+            (2, 3),                          # bridge
+            (3, 4), (3, 5), (3, 6),
+            (4, 5), (4, 6), (5, 6),          # K4 {3,4,5,6}
+        ],
+    )
+    print(f"graph: {g}")
+
+    result = enumerate_maximal_cliques(g)
+    print("maximal cliques (emitted in non-decreasing size order):")
+    for clique in result.cliques:
+        print(f"  size {len(clique)}: {clique}")
+
+    print(f"maximum clique: {maximum_clique(g)}")
+
+    # --- the bitmap index the algorithms run on ------------------------
+    neighbors_of_3 = g.neighbor_bitset(3)
+    print(f"N(3) as a bit string: {neighbors_of_3}")
+    common = g.common_neighbors([4, 5])
+    print(f"common neighbors of {{4, 5}}: {sorted(common)}")
+
+    # --- a noisy planted clique and its paraclique ---------------------
+    noisy, members = planted_clique(40, 8, p=0.12, seed=7)
+    print(f"\nplanted 8-clique in {noisy}: {members}")
+    best = maximum_clique(noisy)
+    print(f"recovered maximum clique:     {best}")
+    glommed = paraclique(noisy, glom=1, base=best)
+    print(f"paraclique (glom=1):          {glommed}")
+
+    # --- BitSet algebra -------------------------------------------------
+    a = BitSet.from_indices(10, [1, 3, 5, 7])
+    b = BitSet.from_indices(10, [3, 5, 8])
+    print(f"\nbitset a & b = {sorted(a & b)}, a | b = {sorted(a | b)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Configuration lives in ``pyproject.toml``; this file exists so that
+``python setup.py develop`` works in offline environments where pip's
+PEP 517/660 build path is unavailable (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

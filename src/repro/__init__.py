@@ -1,0 +1,74 @@
+"""repro — reproduction of Zhang et al., SC 2005.
+
+"Genome-Scale Computational Approaches to Memory-Intensive Applications in
+Systems Biology": exact, parallel, scalable maximal-clique enumeration for
+biological network analysis, built on bitmap memory indices, plus the
+systems-biology substrates the paper's framework targets.
+
+Quickstart
+----------
+>>> from repro import Graph, enumerate_maximal_cliques
+>>> g = Graph.from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
+>>> sorted(enumerate_maximal_cliques(g).cliques)
+[(0, 1, 2), (2, 3), (3, 4)]
+
+Subpackages
+-----------
+:mod:`repro.core`
+    The Clique Enumerator, baselines, maximum clique / vertex cover, and
+    the bitmap data structures.
+:mod:`repro.parallel`
+    The simulated large-shared-memory machine (SGI Altix stand-in), the
+    centralised dynamic load balancer, and a real multiprocessing backend.
+:mod:`repro.bio`
+    Microarray expression pipeline, metabolic extreme pathways, PPI
+    cleaning, pathway alignment, feedback vertex set, sequence alignment.
+:mod:`repro.experiments`
+    One module per paper table/figure, regenerating its rows/series.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    AlignmentError,
+    BitSetError,
+    BudgetExceeded,
+    GraphError,
+    ParameterError,
+    ParseError,
+    ReproError,
+    SolverError,
+)
+from repro.core import (
+    BitSet,
+    Graph,
+    WahBitmap,
+    enumerate_k_cliques,
+    enumerate_maximal_cliques,
+    kose_enumerate,
+    maximum_clique,
+    maximum_clique_size,
+    minimum_vertex_cover,
+    paraclique,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "GraphError",
+    "BitSetError",
+    "ParseError",
+    "ParameterError",
+    "BudgetExceeded",
+    "SolverError",
+    "AlignmentError",
+    "BitSet",
+    "WahBitmap",
+    "Graph",
+    "enumerate_maximal_cliques",
+    "enumerate_k_cliques",
+    "kose_enumerate",
+    "maximum_clique",
+    "maximum_clique_size",
+    "minimum_vertex_cover",
+    "paraclique",
+]

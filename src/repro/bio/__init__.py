@@ -1,0 +1,162 @@
+"""Systems-biology substrates the paper's framework targets.
+
+* :mod:`repro.bio.expression` / :mod:`repro.bio.correlation` /
+  :mod:`repro.bio.coexpression` — the microarray-to-graph pipeline that
+  produced the paper's test graphs;
+* :mod:`repro.bio.stoichiometry` / :mod:`repro.bio.extreme_pathways` —
+  metabolic networks and extreme-pathway enumeration;
+* :mod:`repro.bio.ppi` — noisy interaction data and Boolean cleaning;
+* :mod:`repro.bio.pathway_alignment` — PathBLAST-style DP alignment;
+* :mod:`repro.bio.fvs` — feedback vertex set (phylogenetic footprinting);
+* :mod:`repro.bio.sequences` / :mod:`repro.bio.pairwise` /
+  :mod:`repro.bio.msa` — sequence substrate and ClustalXP-style MSA.
+"""
+
+from repro.bio.expression import (
+    ExpressionDataSet,
+    ModuleSpec,
+    impute_missing,
+    inject_missing,
+    log2_transform,
+    quantile_normalize,
+    synthetic_expression,
+    zscore_normalize,
+)
+from repro.bio.correlation import (
+    pearson_correlation,
+    rank_rows,
+    spearman_correlation,
+)
+from repro.bio.coexpression import (
+    CoexpressionResult,
+    coexpression_pipeline,
+    correlation_graph,
+    threshold_for_density,
+)
+from repro.bio.stoichiometry import (
+    MetabolicNetwork,
+    Reaction,
+    example_network,
+)
+from repro.bio.extreme_pathways import ExtremePathwayResult, extreme_pathways
+from repro.bio.ppi import (
+    RecoveryScore,
+    clean_by_voting,
+    observe_with_noise,
+    score_recovery,
+    simulate_replicates,
+)
+from repro.bio.pathway_alignment import (
+    PathwayAlignment,
+    align_pathways,
+    conserved_segments,
+)
+from repro.bio.fvs import (
+    feedback_vertex_set_decision,
+    is_acyclic,
+    is_feedback_vertex_set,
+    minimum_feedback_vertex_set,
+    shortest_cycle,
+)
+from repro.bio.sequences import (
+    DNA_ALPHABET,
+    PROTEIN_ALPHABET,
+    mutate,
+    random_sequence,
+    sequence_family,
+)
+from repro.bio.pairwise import (
+    AlignmentResult,
+    needleman_wunsch,
+    percent_identity,
+    smith_waterman,
+)
+from repro.bio.threshold_selection import (
+    SweepPoint,
+    select_threshold,
+    threshold_sweep,
+)
+from repro.bio.motifs import (
+    PlantedMotifInstance,
+    build_occurrence_graph,
+    find_motif,
+    hamming,
+    plant_motif,
+)
+from repro.bio.phylo_compat import (
+    PhyloNode,
+    build_perfect_phylogeny,
+    compatibility_graph,
+    four_gamete_compatible,
+    largest_compatible_set,
+)
+from repro.bio.msa import (
+    TreeNode,
+    distance_matrix,
+    neighbor_joining,
+    progressive_alignment,
+    sum_of_pairs,
+)
+
+__all__ = [
+    "ExpressionDataSet",
+    "ModuleSpec",
+    "synthetic_expression",
+    "zscore_normalize",
+    "quantile_normalize",
+    "log2_transform",
+    "inject_missing",
+    "impute_missing",
+    "pearson_correlation",
+    "spearman_correlation",
+    "rank_rows",
+    "CoexpressionResult",
+    "coexpression_pipeline",
+    "correlation_graph",
+    "threshold_for_density",
+    "MetabolicNetwork",
+    "Reaction",
+    "example_network",
+    "ExtremePathwayResult",
+    "extreme_pathways",
+    "RecoveryScore",
+    "observe_with_noise",
+    "simulate_replicates",
+    "clean_by_voting",
+    "score_recovery",
+    "PathwayAlignment",
+    "align_pathways",
+    "conserved_segments",
+    "is_acyclic",
+    "shortest_cycle",
+    "feedback_vertex_set_decision",
+    "minimum_feedback_vertex_set",
+    "is_feedback_vertex_set",
+    "DNA_ALPHABET",
+    "PROTEIN_ALPHABET",
+    "random_sequence",
+    "mutate",
+    "sequence_family",
+    "AlignmentResult",
+    "needleman_wunsch",
+    "smith_waterman",
+    "percent_identity",
+    "TreeNode",
+    "distance_matrix",
+    "neighbor_joining",
+    "progressive_alignment",
+    "sum_of_pairs",
+    "PlantedMotifInstance",
+    "build_occurrence_graph",
+    "find_motif",
+    "hamming",
+    "plant_motif",
+    "PhyloNode",
+    "build_perfect_phylogeny",
+    "compatibility_graph",
+    "four_gamete_compatible",
+    "largest_compatible_set",
+    "SweepPoint",
+    "select_threshold",
+    "threshold_sweep",
+]

@@ -1,0 +1,212 @@
+"""Metabolic network models: metabolites, reactions, stoichiometry.
+
+The paper's introduction grounds the framework in systemic pathway
+analysis: "the enumeration of a complete set of 'systemically independent'
+metabolic pathways, termed 'extreme pathways', is at the core of these
+approaches."  This module provides the substrate those methods need — a
+stoichiometric model with reversibility flags and exact (rational)
+coefficients — and :mod:`repro.bio.extreme_pathways` enumerates the
+pathways on top of it.
+
+Conventions
+-----------
+* Metabolites are *internal* unless declared external; steady state
+  (``S v = 0``) is imposed on internal metabolites only — external ones
+  are sources/sinks (the usual convention for exchange fluxes).
+* A reversible reaction may carry flux of either sign; enumeration splits
+  it into forward/backward irreversible halves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["Reaction", "MetabolicNetwork", "example_network"]
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """One reaction: named stoichiometry plus reversibility.
+
+    ``stoich`` maps metabolite name to a (rational) coefficient — negative
+    for substrates, positive for products.
+
+    Examples
+    --------
+    >>> r = Reaction("v1", {"A": -1, "B": 1})
+    >>> r.reversible
+    False
+    """
+
+    name: str
+    stoich: dict[str, Fraction | int]
+    reversible: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.stoich:
+            raise ParameterError(f"reaction {self.name!r} has no metabolites")
+        clean = {
+            m: Fraction(c) for m, c in self.stoich.items() if Fraction(c) != 0
+        }
+        if not clean:
+            raise ParameterError(
+                f"reaction {self.name!r} has all-zero stoichiometry"
+            )
+        object.__setattr__(self, "stoich", clean)
+
+
+class MetabolicNetwork:
+    """A stoichiometric metabolic model.
+
+    Parameters
+    ----------
+    reactions: the model's reactions (names must be unique).
+    external: metabolite names exempt from the steady-state constraint.
+
+    Examples
+    --------
+    >>> net = example_network()
+    >>> net.n_reactions, len(net.internal_metabolites())
+    (6, 3)
+    """
+
+    def __init__(
+        self,
+        reactions: list[Reaction],
+        external: set[str] | None = None,
+    ):
+        names = [r.name for r in reactions]
+        if len(set(names)) != len(names):
+            raise ParameterError("duplicate reaction names")
+        self.reactions = list(reactions)
+        self.external = set(external or ())
+        mets: list[str] = []
+        seen = set()
+        for r in self.reactions:
+            for m in r.stoich:
+                if m not in seen:
+                    seen.add(m)
+                    mets.append(m)
+        self.metabolites = mets
+        unknown = self.external - seen
+        if unknown:
+            raise ParameterError(
+                f"external metabolites not in any reaction: {sorted(unknown)}"
+            )
+
+    @property
+    def n_reactions(self) -> int:
+        return len(self.reactions)
+
+    @property
+    def n_metabolites(self) -> int:
+        return len(self.metabolites)
+
+    def internal_metabolites(self) -> list[str]:
+        """Metabolites subject to the steady-state constraint."""
+        return [m for m in self.metabolites if m not in self.external]
+
+    def stoichiometric_matrix(
+        self, internal_only: bool = True
+    ) -> np.ndarray:
+        """Dense ``(metabolites, reactions)`` matrix of float coefficients."""
+        rows = (
+            self.internal_metabolites()
+            if internal_only
+            else self.metabolites
+        )
+        index = {m: i for i, m in enumerate(rows)}
+        s = np.zeros((len(rows), self.n_reactions), dtype=np.float64)
+        for j, r in enumerate(self.reactions):
+            for m, c in r.stoich.items():
+                i = index.get(m)
+                if i is not None:
+                    s[i, j] = float(c)
+        return s
+
+    def exact_matrix(self, internal_only: bool = True) -> list[list[Fraction]]:
+        """Exact rational ``(metabolites, reactions)`` matrix."""
+        rows = (
+            self.internal_metabolites()
+            if internal_only
+            else self.metabolites
+        )
+        index = {m: i for i, m in enumerate(rows)}
+        s = [
+            [Fraction(0)] * self.n_reactions for _ in range(len(rows))
+        ]
+        for j, r in enumerate(self.reactions):
+            for m, c in r.stoich.items():
+                i = index.get(m)
+                if i is not None:
+                    s[i][j] = Fraction(c)
+        return s
+
+    def split_reversible(self) -> tuple["MetabolicNetwork", list[int]]:
+        """Expand reversible reactions into forward/backward halves.
+
+        Returns ``(network, origin)`` where ``origin[j]`` maps expanded
+        reaction ``j`` back to the original reaction index, with backward
+        halves encoded as ``-(index + 1)``.
+        """
+        expanded: list[Reaction] = []
+        origin: list[int] = []
+        for idx, r in enumerate(self.reactions):
+            expanded.append(
+                Reaction(r.name + ("_fwd" if r.reversible else ""),
+                         dict(r.stoich), reversible=False)
+            )
+            origin.append(idx)
+            if r.reversible:
+                expanded.append(
+                    Reaction(
+                        r.name + "_bwd",
+                        {m: -c for m, c in r.stoich.items()},
+                        reversible=False,
+                    )
+                )
+                origin.append(-(idx + 1))
+        return MetabolicNetwork(expanded, set(self.external)), origin
+
+    def flux_is_steady(self, flux: np.ndarray, atol: float = 1e-9) -> bool:
+        """True when ``S v = 0`` on internal metabolites."""
+        v = np.asarray(flux, dtype=np.float64)
+        if v.shape != (self.n_reactions,):
+            raise ParameterError(
+                f"flux vector must have length {self.n_reactions}, "
+                f"got {v.shape}"
+            )
+        s = self.stoichiometric_matrix()
+        return bool(np.allclose(s @ v, 0.0, atol=atol))
+
+    def __repr__(self) -> str:
+        return (
+            f"MetabolicNetwork({self.n_metabolites} metabolites, "
+            f"{self.n_reactions} reactions, "
+            f"{len(self.external)} external)"
+        )
+
+
+def example_network() -> MetabolicNetwork:
+    """The classic branched toy network used across the pathway literature.
+
+    ``Aext -> A -> B -> Bext`` with a bypass ``A -> C -> B`` and an
+    external drain from ``C``: small enough to enumerate by hand, rich
+    enough to have three extreme pathways.
+    """
+    return MetabolicNetwork(
+        [
+            Reaction("uptake", {"Aext": -1, "A": 1}),
+            Reaction("v1", {"A": -1, "B": 1}),
+            Reaction("v2", {"A": -1, "C": 1}),
+            Reaction("v3", {"C": -1, "B": 1}),
+            Reaction("drainB", {"B": -1, "Bext": 1}),
+            Reaction("drainC", {"C": -1, "Cext": 1}),
+        ],
+        external={"Aext", "Bext", "Cext"},
+    )

@@ -1,0 +1,137 @@
+"""Command-line interface for the clique framework.
+
+Usage::
+
+    python -m repro.cli enumerate GRAPH [--k-min K] [--k-max K] [--count]
+    python -m repro.cli maxclique GRAPH
+    python -m repro.cli stats GRAPH
+    python -m repro.cli convert GRAPH OUTPUT
+
+``GRAPH`` is any file readable by :mod:`repro.core.graph_io` (DIMACS
+``.dimacs``/``.clq``, edge list ``.edges``/``.txt``, JSON ``.json``);
+``convert`` rewrites between formats by extension.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import graph_io
+from repro.core.clique_enumerator import enumerate_maximal_cliques
+from repro.core.maximum_clique import maximum_clique
+from repro.core.stats import summarize
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Genome-scale clique enumeration (Zhang et al., SC 2005 "
+            "reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_enum = sub.add_parser(
+        "enumerate", help="enumerate maximal cliques"
+    )
+    p_enum.add_argument("graph", help="input graph file")
+    p_enum.add_argument(
+        "--k-min", type=int, default=1, help="minimum clique size (Init_K)"
+    )
+    p_enum.add_argument(
+        "--k-max", type=int, default=None, help="maximum clique size"
+    )
+    p_enum.add_argument(
+        "--count",
+        action="store_true",
+        help="print only per-size counts, not the cliques",
+    )
+
+    p_max = sub.add_parser("maxclique", help="exact maximum clique")
+    p_max.add_argument("graph", help="input graph file")
+
+    p_stats = sub.add_parser("stats", help="graph summary statistics")
+    p_stats.add_argument("graph", help="input graph file")
+
+    p_conv = sub.add_parser(
+        "convert", help="convert between graph formats by extension"
+    )
+    p_conv.add_argument("graph", help="input graph file")
+    p_conv.add_argument("output", help="output graph file")
+    return parser
+
+
+def _cmd_enumerate(args) -> int:
+    g = graph_io.load(args.graph)
+    result = enumerate_maximal_cliques(
+        g, k_min=args.k_min, k_max=args.k_max
+    )
+    if args.count:
+        for size, group in sorted(result.by_size().items()):
+            print(f"size {size}: {len(group)}")
+        print(f"total: {len(result.cliques)}")
+    else:
+        for clique in result.cliques:
+            print(" ".join(map(str, clique)))
+    return 0
+
+
+def _cmd_maxclique(args) -> int:
+    g = graph_io.load(args.graph)
+    clique = maximum_clique(g)
+    print(f"size {len(clique)}: {' '.join(map(str, clique))}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    g = graph_io.load(args.graph)
+    s = summarize(g)
+    print(f"vertices:            {s.n}")
+    print(f"edges:               {s.m}")
+    print(f"density:             {s.density:.4%}")
+    print(f"degree (min/mean/max): {s.min_degree} / "
+          f"{s.mean_degree:.2f} / {s.max_degree}")
+    print(f"triangles:           {s.triangles}")
+    print(f"avg clustering:      {s.average_clustering:.4f}")
+    print(f"components:          {s.n_components} "
+          f"(largest {s.largest_component})")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    g = graph_io.load(args.graph)
+    graph_io.save(g, args.output)
+    print(f"wrote {g.n} vertices / {g.m} edges to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "enumerate": _cmd_enumerate,
+    "maxclique": _cmd_maxclique,
+    "stats": _cmd_stats,
+    "convert": _cmd_convert,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,364 @@
+"""Fixed-universe bitsets backed by ``numpy.uint64`` words.
+
+This module implements the paper's central data representation: the
+"globally addressable bitmap memory index".  A :class:`BitSet` over a
+universe of ``n`` vertices stores one bit per vertex in ``ceil(n/64)``
+machine words.  The clique algorithms in :mod:`repro.core` reduce their two
+hot operations to
+
+* *common-neighbor intersection* — one vectorised bitwise AND over the word
+  arrays, and
+* *maximality testing* — "does any 1-bit exist", a vectorised any-nonzero
+  reduction,
+
+exactly as described in Section 2.3 of the paper ("The procedure to decide
+if a clique is maximal is just to check bit '1' existence in a bit string of
+length n").
+
+Two layers are provided:
+
+``BitSet``
+    A safe, ergonomic wrapper with full set algebra, used by the public API
+    and the tests.
+
+module-level word functions (``words_and``, ``words_any`` ...)
+    Allocation-free primitives over raw ``uint64`` arrays used by the
+    enumeration hot loops, where constructing wrapper objects per operation
+    would dominate run time.  The raw arrays of a :class:`BitSet` are
+    exposed via the ``words`` attribute.
+
+Tail invariant
+--------------
+When ``n`` is not a multiple of 64, the unused high bits of the last word
+are always zero.  Every operation that could set them (complement,
+``set_all``) re-applies the tail mask, so ``count`` and ``any`` never see
+phantom bits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import BitSetError
+
+__all__ = [
+    "BitSet",
+    "WORD_BITS",
+    "n_words",
+    "tail_mask",
+    "words_and",
+    "words_or",
+    "words_andnot",
+    "words_any",
+    "words_count",
+    "words_to_indices",
+    "indices_to_words",
+]
+
+#: Number of bits per storage word.
+WORD_BITS = 64
+
+_ONE = np.uint64(1)
+_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def n_words(n: int) -> int:
+    """Number of 64-bit words needed to hold ``n`` bits."""
+    if n < 0:
+        raise BitSetError(f"universe size must be non-negative, got {n}")
+    return (n + WORD_BITS - 1) // WORD_BITS
+
+
+def tail_mask(n: int) -> np.uint64:
+    """Mask of valid bits in the final word of an ``n``-bit set.
+
+    Returns the all-ones word when ``n`` is a multiple of 64 (or zero).
+    """
+    rem = n % WORD_BITS
+    if rem == 0:
+        return _FULL
+    return np.uint64((1 << rem) - 1)
+
+
+# ---------------------------------------------------------------------------
+# Raw word-array primitives (hot path)
+# ---------------------------------------------------------------------------
+
+def words_and(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out = a & b`` over uint64 word arrays; returns ``out``."""
+    return np.bitwise_and(a, b, out=out)
+
+
+def words_or(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out = a | b`` over uint64 word arrays; returns ``out``."""
+    return np.bitwise_or(a, b, out=out)
+
+
+def words_andnot(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out = a & ~b`` over uint64 word arrays; returns ``out``."""
+    np.bitwise_not(b, out=out)
+    return np.bitwise_and(a, out, out=out)
+
+
+def words_any(a: np.ndarray) -> bool:
+    """True when any bit is set (the paper's ``BitOneExists``)."""
+    return bool(a.any())
+
+
+def words_count(a: np.ndarray) -> int:
+    """Population count over a word array."""
+    return int(np.bitwise_count(a).sum())
+
+
+def words_to_indices(a: np.ndarray, n: int) -> np.ndarray:
+    """Indices of set bits, ascending, as an ``int64`` array.
+
+    ``n`` bounds the result so tail bits (which are zero by invariant) never
+    appear even if the invariant were violated upstream.
+    """
+    bits = np.unpackbits(a.view(np.uint8), bitorder="little")
+    idx = np.flatnonzero(bits[:n])
+    return idx.astype(np.int64, copy=False)
+
+
+def indices_to_words(indices: Iterable[int], n: int) -> np.ndarray:
+    """Build a word array with the given bit indices set."""
+    words = np.zeros(n_words(n), dtype=np.uint64)
+    idx = np.asarray(list(indices), dtype=np.int64)
+    if idx.size == 0:
+        return words
+    if idx.min() < 0 or idx.max() >= n:
+        raise BitSetError(
+            f"bit index out of range for universe of size {n}: "
+            f"[{idx.min()}, {idx.max()}]"
+        )
+    w, b = np.divmod(idx, WORD_BITS)
+    np.bitwise_or.at(words, w, _ONE << b.astype(np.uint64))
+    return words
+
+
+# ---------------------------------------------------------------------------
+# BitSet wrapper
+# ---------------------------------------------------------------------------
+
+class BitSet:
+    """A set of integers drawn from ``{0, ..., n-1}`` stored as a bitmap.
+
+    Parameters
+    ----------
+    n:
+        Universe size.  All operands of binary operations must share it.
+    words:
+        Optional pre-built ``uint64`` word array (not copied).  Intended for
+        internal use; the tail invariant is the caller's responsibility.
+
+    Examples
+    --------
+    >>> s = BitSet.from_indices(10, [1, 3, 5])
+    >>> t = BitSet.from_indices(10, [3, 5, 7])
+    >>> sorted(s & t)
+    [3, 5]
+    >>> (s | t).count()
+    4
+    """
+
+    __slots__ = ("n", "words")
+
+    def __init__(self, n: int, words: np.ndarray | None = None):
+        if n < 0:
+            raise BitSetError(f"universe size must be non-negative, got {n}")
+        self.n = n
+        if words is None:
+            self.words = np.zeros(n_words(n), dtype=np.uint64)
+        else:
+            if words.dtype != np.uint64 or words.shape != (n_words(n),):
+                raise BitSetError(
+                    f"words must be uint64[{n_words(n)}], got "
+                    f"{words.dtype}[{words.shape}]"
+                )
+            self.words = words
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, n: int) -> "BitSet":
+        """Empty set over a universe of size ``n``."""
+        return cls(n)
+
+    @classmethod
+    def ones(cls, n: int) -> "BitSet":
+        """Full set ``{0, ..., n-1}``."""
+        s = cls(n)
+        s.words[:] = _FULL
+        if s.words.size:
+            s.words[-1] &= tail_mask(n)
+        return s
+
+    @classmethod
+    def from_indices(cls, n: int, indices: Iterable[int]) -> "BitSet":
+        """Set containing exactly the given indices."""
+        return cls(n, indices_to_words(indices, n))
+
+    def copy(self) -> "BitSet":
+        """Independent copy."""
+        return BitSet(self.n, self.words.copy())
+
+    # -- element access ----------------------------------------------------
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self.n:
+            raise BitSetError(f"index {i} out of range for universe {self.n}")
+
+    def add(self, i: int) -> None:
+        """Insert element ``i``."""
+        self._check_index(i)
+        self.words[i // WORD_BITS] |= _ONE << np.uint64(i % WORD_BITS)
+
+    def discard(self, i: int) -> None:
+        """Remove element ``i`` if present."""
+        self._check_index(i)
+        self.words[i // WORD_BITS] &= ~(_ONE << np.uint64(i % WORD_BITS))
+
+    def __contains__(self, i: int) -> bool:
+        if not 0 <= i < self.n:
+            return False
+        return bool(
+            (self.words[i // WORD_BITS] >> np.uint64(i % WORD_BITS)) & _ONE
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def any(self) -> bool:
+        """True when the set is non-empty (paper's ``BitOneExists``)."""
+        return words_any(self.words)
+
+    def count(self) -> int:
+        """Number of elements (population count)."""
+        return words_count(self.words)
+
+    __len__ = count
+
+    def __bool__(self) -> bool:
+        return self.any()
+
+    def to_indices(self) -> np.ndarray:
+        """Ascending ``int64`` array of members."""
+        return words_to_indices(self.words, self.n)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.to_indices().tolist())
+
+    def min(self) -> int:
+        """Smallest member; raises :class:`BitSetError` when empty."""
+        nz = np.flatnonzero(self.words)
+        if nz.size == 0:
+            raise BitSetError("min() of empty BitSet")
+        w = int(nz[0])
+        word = int(self.words[w])
+        return w * WORD_BITS + ((word & -word).bit_length() - 1)
+
+    def max(self) -> int:
+        """Largest member; raises :class:`BitSetError` when empty."""
+        nz = np.flatnonzero(self.words)
+        if nz.size == 0:
+            raise BitSetError("max() of empty BitSet")
+        w = int(nz[-1])
+        return w * WORD_BITS + int(self.words[w]).bit_length() - 1
+
+    # -- set algebra -------------------------------------------------------
+
+    def _check_compatible(self, other: "BitSet") -> None:
+        if not isinstance(other, BitSet):
+            raise TypeError(f"expected BitSet, got {type(other).__name__}")
+        if other.n != self.n:
+            raise BitSetError(
+                f"universe mismatch: {self.n} vs {other.n}"
+            )
+
+    def __and__(self, other: "BitSet") -> "BitSet":
+        self._check_compatible(other)
+        return BitSet(self.n, self.words & other.words)
+
+    def __or__(self, other: "BitSet") -> "BitSet":
+        self._check_compatible(other)
+        return BitSet(self.n, self.words | other.words)
+
+    def __xor__(self, other: "BitSet") -> "BitSet":
+        self._check_compatible(other)
+        return BitSet(self.n, self.words ^ other.words)
+
+    def __sub__(self, other: "BitSet") -> "BitSet":
+        self._check_compatible(other)
+        return BitSet(self.n, self.words & ~other.words)
+
+    def __iand__(self, other: "BitSet") -> "BitSet":
+        self._check_compatible(other)
+        self.words &= other.words
+        return self
+
+    def __ior__(self, other: "BitSet") -> "BitSet":
+        self._check_compatible(other)
+        self.words |= other.words
+        return self
+
+    def __ixor__(self, other: "BitSet") -> "BitSet":
+        self._check_compatible(other)
+        self.words ^= other.words
+        return self
+
+    def __isub__(self, other: "BitSet") -> "BitSet":
+        self._check_compatible(other)
+        self.words &= ~other.words
+        return self
+
+    def complement(self) -> "BitSet":
+        """Set of all universe elements not in this set."""
+        out = BitSet(self.n, ~self.words)
+        if out.words.size:
+            out.words[-1] &= tail_mask(self.n)
+        return out
+
+    def intersection_count(self, other: "BitSet") -> int:
+        """``|self & other|`` without materialising the intersection."""
+        self._check_compatible(other)
+        return int(np.bitwise_count(self.words & other.words).sum())
+
+    def isdisjoint(self, other: "BitSet") -> bool:
+        """True when the sets share no element."""
+        self._check_compatible(other)
+        return not bool((self.words & other.words).any())
+
+    def issubset(self, other: "BitSet") -> bool:
+        """True when every member of ``self`` is in ``other``."""
+        self._check_compatible(other)
+        return not bool((self.words & ~other.words).any())
+
+    def issuperset(self, other: "BitSet") -> bool:
+        """True when every member of ``other`` is in ``self``."""
+        return other.issubset(self)
+
+    # -- equality / hashing / repr ------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitSet):
+            return NotImplemented
+        return self.n == other.n and bool(
+            np.array_equal(self.words, other.words)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.words.tobytes()))
+
+    def __repr__(self) -> str:
+        members = self.to_indices()
+        shown = ", ".join(map(str, members[:12]))
+        more = "" if members.size <= 12 else f", ... ({members.size} total)"
+        return f"BitSet(n={self.n}, {{{shown}{more}}})"
+
+    # -- storage -----------------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Bytes of bitmap storage (the paper's ``ceil(n/8)`` figure)."""
+        return self.words.nbytes

@@ -1,0 +1,229 @@
+"""Deterministic random-graph generators used by tests and workloads.
+
+All generators take an integer ``seed`` and are reproducible across runs
+and platforms (they only use :class:`numpy.random.Generator` draws).
+
+The planted-module generators mirror the structure of the paper's test
+inputs: sparse background graphs (densities between 0.008 % and 0.3 %) with
+embedded dense modules that become large maximal cliques, which is what a
+thresholded gene-correlation matrix looks like when co-expressed gene
+modules are present.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.core.graph import Graph
+
+__all__ = [
+    "erdos_renyi",
+    "gnm_random",
+    "planted_clique",
+    "planted_partition",
+    "overlapping_cliques",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "barbell_graph",
+]
+
+
+def _rng(seed: int | np.random.Generator) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
+    """G(n, p): each of the ``C(n,2)`` edges present independently.
+
+    Parameters
+    ----------
+    n: vertex count.
+    p: edge probability in ``[0, 1]``.
+    seed: RNG seed.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"edge probability must be in [0,1], got {p}")
+    rng = _rng(seed)
+    g = Graph(n)
+    if n < 2 or p == 0.0:
+        return g
+    iu, ju = np.triu_indices(n, k=1)
+    mask = rng.random(iu.size) < p
+    for u, v in zip(iu[mask].tolist(), ju[mask].tolist()):
+        g.add_edge(u, v)
+    return g
+
+
+def gnm_random(n: int, m: int, seed: int = 0) -> Graph:
+    """G(n, m): exactly ``m`` distinct edges chosen uniformly."""
+    max_m = n * (n - 1) // 2
+    if not 0 <= m <= max_m:
+        raise ParameterError(f"edge count {m} out of [0, {max_m}]")
+    rng = _rng(seed)
+    g = Graph(n)
+    if m == 0:
+        return g
+    # Sample edge ranks without replacement, decode to (u, v) pairs.
+    ranks = rng.choice(max_m, size=m, replace=False)
+    iu, ju = np.triu_indices(n, k=1)
+    for r in ranks.tolist():
+        g.add_edge(int(iu[r]), int(ju[r]))
+    return g
+
+
+def planted_clique(
+    n: int, clique_size: int, p: float, seed: int = 0
+) -> tuple[Graph, list[int]]:
+    """G(n, p) background plus one planted clique of the given size.
+
+    Returns ``(graph, clique_vertices)``.  The planted vertices are a
+    uniformly random subset, so the clique is not positionally identifiable.
+    """
+    if clique_size > n:
+        raise ParameterError(
+            f"clique size {clique_size} exceeds vertex count {n}"
+        )
+    rng = _rng(seed)
+    g = erdos_renyi(n, p, rng)
+    members = sorted(rng.choice(n, size=clique_size, replace=False).tolist())
+    for i, u in enumerate(members):
+        for v in members[i + 1:]:
+            g.add_edge(u, v)
+    return g, members
+
+
+def planted_partition(
+    n: int,
+    sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> tuple[Graph, list[list[int]]]:
+    """Planted-partition graph with dense blocks on sparse background.
+
+    ``sizes`` gives the block sizes (their sum must not exceed ``n``);
+    remaining vertices are background-only.  Within-block edge probability
+    is ``p_in``; all other pairs use ``p_out``.  With ``p_in = 1`` each
+    block is a planted clique.
+
+    Returns ``(graph, blocks)``.
+    """
+    if sum(sizes) > n:
+        raise ParameterError(
+            f"block sizes sum to {sum(sizes)} > vertex count {n}"
+        )
+    for check, name in ((p_in, "p_in"), (p_out, "p_out")):
+        if not 0.0 <= check <= 1.0:
+            raise ParameterError(f"{name} must be in [0,1], got {check}")
+    rng = _rng(seed)
+    perm = rng.permutation(n)
+    blocks: list[list[int]] = []
+    cursor = 0
+    for s in sizes:
+        blocks.append(sorted(perm[cursor:cursor + s].tolist()))
+        cursor += s
+    block_of = np.full(n, -1, dtype=np.int64)
+    for bi, block in enumerate(blocks):
+        block_of[block] = bi
+    g = Graph(n)
+    iu, ju = np.triu_indices(n, k=1)
+    same = (block_of[iu] >= 0) & (block_of[iu] == block_of[ju])
+    probs = np.where(same, p_in, p_out)
+    mask = rng.random(iu.size) < probs
+    for u, v in zip(iu[mask].tolist(), ju[mask].tolist()):
+        g.add_edge(u, v)
+    return g, blocks
+
+
+def overlapping_cliques(
+    n: int,
+    clique_sizes: Sequence[int],
+    overlap: int,
+    p: float = 0.0,
+    seed: int = 0,
+) -> tuple[Graph, list[list[int]]]:
+    """A chain of cliques, each sharing ``overlap`` vertices with the next.
+
+    Produces the heavily-overlapping-clique regime where Improved BK's
+    pivoting pays off (paper Section 2.2).  ``p`` adds background noise.
+
+    Returns ``(graph, cliques)``.
+    """
+    if overlap < 0:
+        raise ParameterError(f"overlap must be non-negative, got {overlap}")
+    for s in clique_sizes:
+        if s <= overlap:
+            raise ParameterError(
+                f"clique size {s} must exceed overlap {overlap}"
+            )
+    total = sum(clique_sizes) - overlap * max(0, len(clique_sizes) - 1)
+    if total > n:
+        raise ParameterError(
+            f"chain needs {total} vertices but graph has {n}"
+        )
+    rng = _rng(seed)
+    g = erdos_renyi(n, p, rng)
+    cliques: list[list[int]] = []
+    cursor = 0
+    prev_tail: list[int] = []
+    for s in clique_sizes:
+        fresh = list(range(cursor, cursor + s - len(prev_tail)))
+        members = prev_tail + fresh
+        cursor += len(fresh)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                g.add_edge(u, v)
+        cliques.append(sorted(members))
+        prev_tail = members[-overlap:] if overlap else []
+    return g, cliques
+
+
+# ---------------------------------------------------------------------------
+# Small deterministic families for tests
+# ---------------------------------------------------------------------------
+
+def path_graph(n: int) -> Graph:
+    """Path ``0 - 1 - ... - (n-1)``."""
+    return Graph.from_edges(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise ParameterError(f"cycle needs at least 3 vertices, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(n, edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph K_n."""
+    return Graph.from_edges(
+        n, ((i, j) for i in range(n) for j in range(i + 1, n))
+    )
+
+
+def star_graph(n: int) -> Graph:
+    """Star: vertex 0 adjacent to all others."""
+    return Graph.from_edges(n, ((0, i) for i in range(1, n)))
+
+
+def barbell_graph(k: int) -> Graph:
+    """Two K_k cliques joined by a single bridge edge."""
+    if k < 1:
+        raise ParameterError(f"barbell clique size must be >= 1, got {k}")
+    n = 2 * k
+    g = Graph(n)
+    for base in (0, k):
+        for i in range(base, base + k):
+            for j in range(i + 1, base + k):
+                g.add_edge(i, j)
+    if k >= 1 and n >= 2:
+        g.add_edge(k - 1, k)
+    return g

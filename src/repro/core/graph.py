@@ -1,0 +1,342 @@
+"""Undirected graphs stored as bit-adjacency matrices.
+
+The paper's framework keeps the whole graph in memory as an array of
+neighbor bit strings: row ``i`` of the adjacency bitmap holds one bit per
+vertex, set when ``{i, j}`` is an edge (Figure 2 of the paper).  This makes
+the two clique-enumeration primitives — common-neighbor intersection and
+maximality testing — single vectorised word operations.
+
+:class:`Graph` is that representation: an ``(n, ceil(n/64))`` ``uint64``
+matrix plus a degree vector.  Vertices are the integers ``0 .. n-1``; the
+graph is simple (no self loops, no parallel edges) and undirected (the
+matrix is kept symmetric by construction).
+
+The raw word matrix is exposed as the ``adj`` attribute for the enumeration
+hot loops; everything else should go through the methods.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.core import bitset as bs
+from repro.core.bitset import BitSet, WORD_BITS
+
+__all__ = ["Graph"]
+
+_ONE = np.uint64(1)
+
+
+class Graph:
+    """A simple undirected graph over vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices.
+    adj:
+        ``uint64`` array of shape ``(n, n_words(n))``; row ``v`` is the
+        neighbor bitmap of ``v``.  Treat as read-only outside this class.
+
+    Examples
+    --------
+    >>> g = Graph(4)
+    >>> g.add_edge(0, 1); g.add_edge(1, 2)
+    >>> g.degree(1)
+    2
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = ("n", "adj", "_degrees", "_m")
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        self.n = n
+        self.adj = np.zeros((n, bs.n_words(n)), dtype=np.uint64)
+        self._degrees = np.zeros(n, dtype=np.int64)
+        self._m = 0
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]]) -> "Graph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        Duplicate edges are ignored; self loops raise :class:`GraphError`.
+        """
+        g = cls(n)
+        for u, v in edges:
+            g.add_edge(u, v)
+        return g
+
+    @classmethod
+    def from_adjacency(cls, matrix: np.ndarray) -> "Graph":
+        """Build from a square boolean/0-1 adjacency matrix.
+
+        The matrix must be symmetric with a zero diagonal.
+        """
+        a = np.asarray(matrix)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise GraphError(f"adjacency matrix must be square, got {a.shape}")
+        a = a.astype(bool)
+        if a.diagonal().any():
+            raise GraphError("adjacency matrix has non-zero diagonal entries")
+        if not np.array_equal(a, a.T):
+            raise GraphError("adjacency matrix is not symmetric")
+        n = a.shape[0]
+        g = cls(n)
+        ui, vi = np.nonzero(np.triu(a, k=1))
+        for u, v in zip(ui.tolist(), vi.tolist()):
+            g.add_edge(u, v)
+        return g
+
+    @classmethod
+    def from_networkx(cls, nxg) -> "Graph":
+        """Build from a ``networkx`` graph with integer-convertible nodes.
+
+        Nodes are sorted and relabelled to ``0..n-1``; the mapping is
+        returned on the graph as plain relabelling is positional.
+        """
+        nodes = sorted(nxg.nodes())
+        index = {v: i for i, v in enumerate(nodes)}
+        g = cls(len(nodes))
+        for u, v in nxg.edges():
+            if u == v:
+                continue
+            g.add_edge(index[u], index[v])
+        return g
+
+    def copy(self) -> "Graph":
+        """Deep copy."""
+        g = Graph(self.n)
+        g.adj[:] = self.adj
+        g._degrees[:] = self._degrees
+        g._m = self._m
+        return g
+
+    # -- mutation ------------------------------------------------------------
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise GraphError(f"vertex {v} out of range [0, {self.n})")
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert edge ``{u, v}``; no-op when already present."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError(f"self loop at vertex {u} is not allowed")
+        if self.has_edge(u, v):
+            return
+        self.adj[u, v // WORD_BITS] |= _ONE << np.uint64(v % WORD_BITS)
+        self.adj[v, u // WORD_BITS] |= _ONE << np.uint64(u % WORD_BITS)
+        self._degrees[u] += 1
+        self._degrees[v] += 1
+        self._m += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge ``{u, v}``; raises when absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u}, {v}) not present")
+        self.adj[u, v // WORD_BITS] &= ~(_ONE << np.uint64(v % WORD_BITS))
+        self.adj[v, u // WORD_BITS] &= ~(_ONE << np.uint64(u % WORD_BITS))
+        self._degrees[u] -= 1
+        self._degrees[v] -= 1
+        self._m -= 1
+
+    # -- queries -------------------------------------------------------------
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when ``{u, v}`` is an edge."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return False
+        return bool(
+            (self.adj[u, v // WORD_BITS] >> np.uint64(v % WORD_BITS)) & _ONE
+        )
+
+    def degree(self, v: int) -> int:
+        """Number of neighbors of ``v``."""
+        self._check_vertex(v)
+        return int(self._degrees[v])
+
+    def degrees(self) -> np.ndarray:
+        """Copy of the degree vector."""
+        return self._degrees.copy()
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def density(self) -> float:
+        """Edge density ``m / C(n, 2)``; zero for ``n < 2``."""
+        if self.n < 2:
+            return 0.0
+        return self._m / (self.n * (self.n - 1) / 2)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Ascending array of neighbors of ``v``."""
+        self._check_vertex(v)
+        return bs.words_to_indices(self.adj[v], self.n)
+
+    def neighbor_bitset(self, v: int) -> BitSet:
+        """Neighbor set of ``v`` as a :class:`BitSet` (shares storage)."""
+        self._check_vertex(v)
+        return BitSet(self.n, self.adj[v])
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate edges as ``(u, v)`` with ``u < v``, in canonical order."""
+        for u in range(self.n):
+            for v in bs.words_to_indices(self.adj[u], self.n).tolist():
+                if v > u:
+                    yield (u, v)
+
+    def vertices(self) -> range:
+        """The vertex range ``0 .. n-1``."""
+        return range(self.n)
+
+    def is_clique(self, vertices: Sequence[int]) -> bool:
+        """True when the given vertices are pairwise adjacent and distinct."""
+        vs = list(vertices)
+        if len(set(vs)) != len(vs):
+            return False
+        for i, u in enumerate(vs):
+            for v in vs[i + 1:]:
+                if not self.has_edge(u, v):
+                    return False
+        return True
+
+    def common_neighbors(self, vertices: Sequence[int]) -> BitSet:
+        """Bit string of vertices adjacent to *all* of ``vertices``.
+
+        This is the paper's per-clique common-neighbor index: the bitwise
+        AND of the neighbor rows.  Members of ``vertices`` are excluded
+        automatically because no vertex is its own neighbor.
+        """
+        vs = list(vertices)
+        if not vs:
+            return BitSet.ones(self.n)
+        acc = self.adj[vs[0]].copy()
+        for v in vs[1:]:
+            self._check_vertex(v)
+            np.bitwise_and(acc, self.adj[v], out=acc)
+        return BitSet(self.n, acc)
+
+    # -- derived graphs --------------------------------------------------------
+
+    def complement(self) -> "Graph":
+        """Complement graph (no self loops)."""
+        g = Graph(self.n)
+        full = BitSet.ones(self.n).words
+        g.adj[:] = np.bitwise_and(~self.adj, full)
+        # clear the diagonal bits
+        for v in range(self.n):
+            g.adj[v, v // WORD_BITS] &= ~(_ONE << np.uint64(v % WORD_BITS))
+        g._degrees = (
+            np.bitwise_count(g.adj).sum(axis=1).astype(np.int64)
+        )
+        g._m = int(g._degrees.sum()) // 2
+        return g
+
+    def subgraph(self, vertices: Sequence[int]) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``vertices`` (relabelled ``0..k-1``).
+
+        Returns ``(graph, mapping)`` where ``mapping[i]`` is the original
+        label of the subgraph vertex ``i``.  ``vertices`` must be distinct.
+        """
+        vs = np.asarray(sorted(vertices), dtype=np.int64)
+        if vs.size and (np.unique(vs).size != vs.size):
+            raise GraphError("subgraph vertex list contains duplicates")
+        for v in vs.tolist():
+            self._check_vertex(v)
+        index = {int(v): i for i, v in enumerate(vs)}
+        g = Graph(len(vs))
+        for i, v in enumerate(vs.tolist()):
+            for u in self.neighbors(v).tolist():
+                j = index.get(u)
+                if j is not None and j > i:
+                    g.add_edge(i, j)
+        return g, vs
+
+    def relabel(self, perm: Sequence[int]) -> "Graph":
+        """Relabelled copy: new vertex ``perm[v]`` takes old vertex ``v``.
+
+        ``perm`` must be a permutation of ``0..n-1``.
+        """
+        p = np.asarray(perm, dtype=np.int64)
+        if p.shape != (self.n,) or np.unique(p).size != self.n or (
+            self.n and (p.min() != 0 or p.max() != self.n - 1)
+        ):
+            raise GraphError("perm must be a permutation of 0..n-1")
+        g = Graph(self.n)
+        for u, v in self.edges():
+            g.add_edge(int(p[u]), int(p[v]))
+        return g
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph``."""
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(self.n))
+        nxg.add_edges_from(self.edges())
+        return nxg
+
+    # -- integrity ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check internal invariants; raises :class:`GraphError` on breach.
+
+        Verifies symmetry, zero diagonal, degree consistency, and tail-bit
+        cleanliness.  Intended for tests and after bulk construction.
+        """
+        counted = np.bitwise_count(self.adj).sum(axis=1).astype(np.int64)
+        if not np.array_equal(counted, self._degrees):
+            raise GraphError("degree cache inconsistent with adjacency bits")
+        if int(counted.sum()) != 2 * self._m:
+            raise GraphError("edge count inconsistent with adjacency bits")
+        if self.n:
+            mask = bs.tail_mask(self.n)
+            if (self.adj[:, -1] & ~mask).any():
+                raise GraphError("tail bits beyond n are set")
+        for v in range(self.n):
+            if v in self.neighbor_bitset(v):
+                raise GraphError(f"self loop bit set at {v}")
+        for u in range(self.n):
+            for v in self.neighbors(u).tolist():
+                if not self.has_edge(v, u):
+                    raise GraphError(f"asymmetric edge ({u}, {v})")
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.n == other.n and bool(np.array_equal(self.adj, other.adj))
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.adj.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(n={self.n}, m={self._m}, "
+            f"density={self.density():.4%})"
+        )
+
+    def nbytes(self) -> int:
+        """Bytes held by the adjacency bitmap."""
+        return self.adj.nbytes

@@ -1,0 +1,123 @@
+"""Paraclique extraction.
+
+The paper's introduction: "The ability to generate cliques, paracliques and
+other forms of densely-connected subgraphs allows us to separate these
+causes, and to place them in a larger systems-level graph."
+
+A *paraclique* (Chesler & Langston) relaxes the clique requirement: start
+from a maximum (or supplied) clique and repeatedly absorb ("glom") any
+outside vertex adjacent to all but at most ``glom`` members of the current
+set.  The proportional variant requires adjacency to at least a fixed
+fraction of members, which behaves better as the set grows.
+
+Both variants are deterministic: among eligible vertices the one with the
+most member-neighbors is absorbed first, ties broken by lowest index.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.core import bitset as bs
+from repro.core.graph import Graph
+from repro.core.maximum_clique import maximum_clique
+
+__all__ = ["paraclique", "proportional_paraclique", "subgraph_density"]
+
+
+def _member_neighbor_counts(g: Graph, members: list[int]) -> np.ndarray:
+    """For every vertex, how many of ``members`` it is adjacent to."""
+    counts = np.zeros(g.n, dtype=np.int64)
+    for v in members:
+        row = np.unpackbits(
+            g.adj[v].view(np.uint8), bitorder="little"
+        )[: g.n]
+        counts += row
+    return counts
+
+
+def paraclique(
+    g: Graph,
+    glom: int = 1,
+    base: Sequence[int] | None = None,
+) -> list[int]:
+    """Absorb vertices missing at most ``glom`` edges to the current set.
+
+    Parameters
+    ----------
+    g: input graph.
+    glom: maximum number of members a vertex may be non-adjacent to.
+    base: starting clique; the maximum clique when omitted.
+
+    Returns
+    -------
+    Sorted vertex list containing the base clique.
+    """
+    if glom < 0:
+        raise ParameterError(f"glom factor must be >= 0, got {glom}")
+    members = list(base) if base is not None else maximum_clique(g)
+    if base is not None and not g.is_clique(members):
+        raise ParameterError("base must be a clique")
+    member_set = set(members)
+    while True:
+        counts = _member_neighbor_counts(g, members)
+        need = len(members) - glom
+        best_v, best_c = -1, -1
+        for v in range(g.n):
+            if v in member_set:
+                continue
+            c = int(counts[v])
+            if c >= need and c > best_c:
+                best_c, best_v = c, v
+        if best_v < 0:
+            return sorted(members)
+        members.append(best_v)
+        member_set.add(best_v)
+
+
+def proportional_paraclique(
+    g: Graph,
+    fraction: float = 0.9,
+    base: Sequence[int] | None = None,
+) -> list[int]:
+    """Absorb vertices adjacent to at least ``fraction`` of members."""
+    if not 0.0 < fraction <= 1.0:
+        raise ParameterError(
+            f"fraction must be in (0, 1], got {fraction}"
+        )
+    members = list(base) if base is not None else maximum_clique(g)
+    if base is not None and not g.is_clique(members):
+        raise ParameterError("base must be a clique")
+    member_set = set(members)
+    while True:
+        counts = _member_neighbor_counts(g, members)
+        need = int(np.ceil(fraction * len(members)))
+        best_v, best_c = -1, -1
+        for v in range(g.n):
+            if v in member_set:
+                continue
+            c = int(counts[v])
+            if c >= need and c > best_c:
+                best_c, best_v = c, v
+        if best_v < 0:
+            return sorted(members)
+        members.append(best_v)
+        member_set.add(best_v)
+
+
+def subgraph_density(g: Graph, vertices: Sequence[int]) -> float:
+    """Edge density of the induced subgraph (1.0 for cliques, sizes < 2)."""
+    vs = list(vertices)
+    k = len(vs)
+    if k < 2:
+        return 1.0
+    edges = sum(
+        1
+        for i, u in enumerate(vs)
+        for v in vs[i + 1:]
+        if g.has_edge(u, v)
+    )
+    return edges / (k * (k - 1) / 2)

@@ -1,0 +1,116 @@
+"""Descriptive graph statistics for network analysis and reports.
+
+Supporting utilities for the examples and the experiment reports: degree
+summaries, clustering coefficients (triangle counting runs on the bitmap
+index — one AND plus a popcount per edge), and connected components.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graph import Graph
+
+__all__ = [
+    "GraphSummary",
+    "degree_histogram",
+    "triangle_count",
+    "clustering_coefficient",
+    "average_clustering",
+    "connected_components",
+    "summarize",
+]
+
+
+def degree_histogram(g: Graph) -> dict[int, int]:
+    """Map degree -> number of vertices with that degree."""
+    values, counts = np.unique(g.degrees(), return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def triangle_count(g: Graph) -> int:
+    """Number of triangles, via bitmap intersections per edge."""
+    total = 0
+    for u, v in g.edges():
+        total += int(
+            np.bitwise_count(g.adj[u] & g.adj[v]).sum()
+        )
+    return total // 3
+
+
+def clustering_coefficient(g: Graph, v: int) -> float:
+    """Fraction of neighbor pairs of ``v`` that are adjacent."""
+    d = g.degree(v)
+    if d < 2:
+        return 0.0
+    nbrs = g.neighbors(v)
+    links = 0
+    for u in nbrs.tolist():
+        links += int(np.bitwise_count(g.adj[u] & g.adj[v]).sum())
+    return links / (d * (d - 1))
+
+
+def average_clustering(g: Graph) -> float:
+    """Mean clustering coefficient over all vertices (0 for empty)."""
+    if g.n == 0:
+        return 0.0
+    return sum(clustering_coefficient(g, v) for v in range(g.n)) / g.n
+
+
+def connected_components(g: Graph) -> list[list[int]]:
+    """Vertex lists of the connected components, largest first."""
+    seen = np.zeros(g.n, dtype=bool)
+    components: list[list[int]] = []
+    for start in range(g.n):
+        if seen[start]:
+            continue
+        comp = []
+        q = deque([start])
+        seen[start] = True
+        while q:
+            v = q.popleft()
+            comp.append(v)
+            for u in g.neighbors(v).tolist():
+                if not seen[u]:
+                    seen[u] = True
+                    q.append(u)
+        components.append(sorted(comp))
+    components.sort(key=lambda c: (-len(c), c))
+    return components
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One-glance description of a graph."""
+
+    n: int
+    m: int
+    density: float
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    triangles: int
+    average_clustering: float
+    n_components: int
+    largest_component: int
+
+
+def summarize(g: Graph) -> GraphSummary:
+    """Compute a :class:`GraphSummary`."""
+    degs = g.degrees()
+    comps = connected_components(g)
+    return GraphSummary(
+        n=g.n,
+        m=g.m,
+        density=g.density(),
+        min_degree=int(degs.min()) if g.n else 0,
+        max_degree=int(degs.max()) if g.n else 0,
+        mean_degree=float(degs.mean()) if g.n else 0.0,
+        triangles=triangle_count(g),
+        average_clustering=average_clustering(g),
+        n_components=len(comps),
+        largest_component=len(comps[0]) if comps else 0,
+    )

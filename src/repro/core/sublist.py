@@ -1,0 +1,93 @@
+"""The k-clique sub-list: the Clique Enumerator's working data structure.
+
+Section 2.3 of the paper: "the k-cliques generated from a same (k-1)-clique
+naturally form a sub-list consisting of the (k-1)-clique with a list of
+common neighbors of this (k-1)-clique.  [...] to avoid the duplication of
+cliques, only the common neighbors whose indices [are] higher than the
+index of the (k-1)-th vertex need to be kept" and "the algorithm keeps the
+common neighbors of the shared (k-1)-clique for each k-clique sub-list
+instead of each k-clique, which avoids large memory requirement as well as
+repetitive bit operations."
+
+A :class:`CliqueSubList` therefore stores
+
+* ``prefix`` — the shared (k-1)-clique, an ascending vertex tuple stored
+  once for the whole sub-list,
+* ``tails`` — the k-th vertices, ascending, all greater than
+  ``prefix[-1]``; entry ``t`` represents the k-clique ``prefix + (t,)``,
+* ``cn_words`` — the common-neighbor bit string of *the prefix* (not of
+  each member clique), so a member's common neighbors cost one AND.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CliqueSubList"]
+
+
+@dataclass(frozen=True)
+class CliqueSubList:
+    """One sub-list of candidate k-cliques sharing a (k-1)-clique prefix.
+
+    Attributes
+    ----------
+    prefix:
+        The shared (k-1)-clique, ascending vertex indices.
+    tails:
+        ``int64`` array of k-th vertices, ascending, each greater than
+        ``prefix[-1]``.  ``len(tails)`` is the number of candidate
+        k-cliques in the sub-list.
+    cn_words:
+        ``uint64`` bit-string words of the common neighbors of ``prefix``.
+    """
+
+    prefix: tuple[int, ...]
+    tails: np.ndarray
+    cn_words: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Size of the cliques this sub-list holds."""
+        return len(self.prefix) + 1
+
+    def __len__(self) -> int:
+        return int(self.tails.size)
+
+    def cliques(self) -> list[tuple[int, ...]]:
+        """Materialise the member k-cliques (for tests and debugging)."""
+        return [self.prefix + (int(t),) for t in self.tails.tolist()]
+
+    def nbytes(self, index_bytes: int = 8, pointer_bytes: int = 8) -> int:
+        """Measured storage: prefix + tails + bit string + list pointer.
+
+        Mirrors the paper's space accounting
+        ``M[k]*c + N[k]*((k-1)*c + ceil(n/8)) + N[k]*sizeof(pointer)``
+        contribution of a single sub-list with ``c = index_bytes``.
+        """
+        return (
+            self.tails.size * index_bytes
+            + len(self.prefix) * index_bytes
+            + self.cn_words.nbytes
+            + pointer_bytes
+        )
+
+    def work_estimate(self) -> int:
+        """Units of generation work this sub-list will cost.
+
+        Dominated by the pairwise adjacency checks among tails —
+        ``O(|tails|^2)`` — plus one length-n AND per tail.  The load
+        balancer (:mod:`repro.parallel.load_balancer`) divides sub-lists
+        across threads by this estimate.
+        """
+        t = int(self.tails.size)
+        return t * (t - 1) // 2 + t * max(1, self.cn_words.size // 8)
+
+    def __repr__(self) -> str:
+        return (
+            f"CliqueSubList(prefix={self.prefix}, "
+            f"tails={self.tails.tolist()[:8]}"
+            f"{'...' if self.tails.size > 8 else ''}, k={self.k})"
+        )

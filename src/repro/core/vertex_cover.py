@@ -1,0 +1,191 @@
+"""Fixed-parameter-tractable vertex cover (Section 2.1 substrate).
+
+The paper solves maximum clique through "reduction to vertex cover and
+employing the notion of fixed parameter tractability": a graph has a clique
+of size ``s`` iff its complement has a vertex cover of size ``n - s``.
+
+This module implements the classic FPT machinery:
+
+kernelization
+    * isolated vertices are discarded;
+    * a degree-1 vertex forces its neighbor into the cover;
+    * a vertex of degree greater than ``k`` must itself be in the cover
+      (otherwise all its neighbors are, exceeding the budget);
+    * the Buss kernel bound — after the rules stabilise, a yes-instance
+      has at most ``k^2`` edges and ``k^2 + k`` non-isolated vertices.
+
+bounded search tree
+    Branch on a maximum-degree vertex ``v``: either ``v`` is in the cover
+    (budget ``k-1``) or all of ``N(v)`` is (budget ``k - deg(v)``).  With
+    the kernel rules this realises the classic ``O(2^k · poly)`` search;
+    the paper cites the refined ``O(1.2759^k k^{1.5} + kn)`` bound of
+    Chandran and Grandoni — the branching here is the standard simple
+    variant, adequate for validation at library scale.
+
+Solutions are verified before being returned (:class:`~repro.errors.
+SolverError` guards the invariant), and the decision/optimisation split
+mirrors how the FPT literature (and the paper) uses the parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError, SolverError
+from repro.core.graph import Graph
+
+__all__ = [
+    "vertex_cover_decision",
+    "minimum_vertex_cover",
+    "greedy_vertex_cover",
+    "matching_lower_bound",
+    "is_vertex_cover",
+]
+
+
+def is_vertex_cover(g: Graph, cover: set[int] | list[int]) -> bool:
+    """True when every edge of ``g`` has an endpoint in ``cover``."""
+    cov = set(cover)
+    return all(u in cov or v in cov for u, v in g.edges())
+
+
+def greedy_vertex_cover(g: Graph) -> list[int]:
+    """2-approximation: take both endpoints of a maximal matching."""
+    cover: set[int] = set()
+    for u, v in g.edges():
+        if u not in cover and v not in cover:
+            cover.add(u)
+            cover.add(v)
+    return sorted(cover)
+
+
+def matching_lower_bound(g: Graph) -> int:
+    """Size of a greedy maximal matching — a lower bound on any cover."""
+    matched: set[int] = set()
+    size = 0
+    for u, v in g.edges():
+        if u not in matched and v not in matched:
+            matched.add(u)
+            matched.add(v)
+            size += 1
+    return size
+
+
+def _adj_sets(g: Graph) -> dict[int, set[int]]:
+    return {
+        v: set(g.neighbors(v).tolist())
+        for v in range(g.n)
+        if g.degree(v) > 0
+    }
+
+
+def _remove_vertex(adj: dict[int, set[int]], v: int) -> list[int]:
+    """Remove ``v`` and its incident edges; return affected neighbors."""
+    nbrs = list(adj.pop(v, ()))
+    for u in nbrs:
+        s = adj.get(u)
+        if s is not None:
+            s.discard(v)
+            if not s:
+                del adj[u]
+    return nbrs
+
+
+def _solve(adj: dict[int, set[int]], k: int) -> list[int] | None:
+    """Bounded search tree on a mutable adjacency dict (copied per branch)."""
+    cover: list[int] = []
+    # --- kernelization to a fixed point -------------------------------
+    changed = True
+    while changed:
+        changed = False
+        if not adj:
+            return cover
+        if k <= 0:
+            return None
+        # high-degree rule
+        for v in list(adj):
+            if v in adj and len(adj[v]) > k:
+                _remove_vertex(adj, v)
+                cover.append(v)
+                k -= 1
+                changed = True
+                if k < 0:
+                    return None
+        # degree-1 rule: cover the neighbor
+        for v in list(adj):
+            if v in adj and len(adj[v]) == 1:
+                (u,) = adj[v]
+                _remove_vertex(adj, u)
+                cover.append(u)
+                k -= 1
+                changed = True
+                if k < 0:
+                    return None
+    if not adj:
+        return cover
+    if k <= 0:
+        return None
+    # Buss bound: max degree is now <= k, so a yes-instance has <= k^2 edges
+    m = sum(len(s) for s in adj.values()) // 2
+    if m > k * k:
+        return None
+    # --- branch on a maximum-degree vertex ------------------------------
+    v = max(adj, key=lambda u: (len(adj[u]), -u))
+    nbrs = sorted(adj[v])
+    # branch 1: v in the cover
+    adj1 = {u: set(s) for u, s in adj.items()}
+    _remove_vertex(adj1, v)
+    sub = _solve(adj1, k - 1)
+    if sub is not None:
+        return cover + [v] + sub
+    # branch 2: N(v) in the cover
+    if len(nbrs) <= k:
+        adj2 = {u: set(s) for u, s in adj.items()}
+        for u in nbrs:
+            _remove_vertex(adj2, u)
+        sub = _solve(adj2, k - len(nbrs))
+        if sub is not None:
+            return cover + nbrs + sub
+    return None
+
+
+def vertex_cover_decision(g: Graph, k: int) -> list[int] | None:
+    """Find a vertex cover of size at most ``k``, or ``None``.
+
+    Parameters
+    ----------
+    g: input graph.
+    k: cover budget, ``k >= 0``.
+
+    Returns
+    -------
+    Sorted list of cover vertices (possibly fewer than ``k``) or ``None``
+    when no cover of size ``<= k`` exists.
+    """
+    if k < 0:
+        raise ParameterError(f"cover budget must be >= 0, got {k}")
+    sol = _solve(_adj_sets(g), k)
+    if sol is None:
+        return None
+    sol = sorted(set(sol))
+    if len(sol) > k or not is_vertex_cover(g, sol):
+        raise SolverError(
+            f"internal error: produced invalid cover of size {len(sol)}"
+        )
+    return sol
+
+
+def minimum_vertex_cover(g: Graph) -> list[int]:
+    """Exact minimum vertex cover via the FPT decision procedure.
+
+    Starts at the greedy-matching lower bound and increments the parameter
+    until the decision version succeeds — the standard way the paper's
+    framework turns an FPT decision algorithm into an optimiser.
+    """
+    lo = matching_lower_bound(g)
+    hi = len(greedy_vertex_cover(g))
+    for k in range(lo, hi + 1):
+        sol = vertex_cover_decision(g, k)
+        if sol is not None:
+            return sol
+    raise SolverError("greedy cover bound violated")  # pragma: no cover

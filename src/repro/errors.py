@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or mutation (bad vertex ids, self loops)."""
+
+
+class BitSetError(ReproError):
+    """Invalid bitset operation (universe mismatch, out-of-range index)."""
+
+
+class ParseError(ReproError):
+    """Malformed input encountered while reading a graph or dataset file."""
+
+
+class ParameterError(ReproError):
+    """An algorithm parameter is out of its documented domain."""
+
+
+class BudgetExceeded(ReproError):
+    """A configured resource budget (cliques, memory, work) was exceeded.
+
+    Raised by enumeration drivers when ``max_cliques`` or ``max_bytes``
+    limits are hit; carries partial-progress information.
+    """
+
+    def __init__(self, message: str, *, emitted: int = 0, level: int = 0):
+        super().__init__(message)
+        #: number of maximal cliques emitted before the budget tripped
+        self.emitted = emitted
+        #: clique size level the enumerator had reached
+        self.level = level
+
+
+class SolverError(ReproError):
+    """An exact solver failed to certify a solution (internal invariant)."""
+
+
+class AlignmentError(ReproError):
+    """Sequence or pathway alignment received inconsistent inputs."""

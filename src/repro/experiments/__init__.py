@@ -1,0 +1,46 @@
+"""Experiment drivers: one module per paper table/figure.
+
+==================  ====================================================
+module              paper artifact
+==================  ====================================================
+``table1``          Table 1 — Kose RAM vs sequential Clique Enumerator
+``maxclique_support``  max clique sizes 17 / 110 / 28 (Section 3 text)
+``figure5``         run time vs processors per Init_K
+``figure6``         absolute + relative speedups to 64 processors
+``figure7``         256-processor speedup vs sequential run time
+``figure8``         per-processor load balance (mean ± std)
+``figure9``         candidate memory vs clique size
+==================  ====================================================
+
+Each module exposes ``run()`` (structured result) and ``report()`` (text
+table).  ``python -m repro.experiments.runner all`` regenerates
+everything.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    calibration,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    maxclique_support,
+    reporting,
+    table1,
+    workloads,
+)
+
+__all__ = [
+    "ablations",
+    "calibration",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "maxclique_support",
+    "reporting",
+    "table1",
+    "workloads",
+]

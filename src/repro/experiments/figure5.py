@@ -1,0 +1,84 @@
+"""Figure 5: parallel run time vs processor count per Init_K.
+
+Paper: "Run times of the multithreaded implementation with load balancing
+to enumerate maximal cliques from different initial size (Init_K) on the
+2,895 vertices graph using up to 256 processors on an SGI Altix 3700.
+[...] the run times scale well for up to 64 processors, and still scale
+when using 128 processors, though the performance degrades a little when
+256 processors are used.  [...] when the initial clique size increases by
+one, the run times decrease by almost half."
+
+Reproduction: the scaled myogenic workload's traces (Init_K analogs
+9/10/11 for the paper's 18/19/20) replayed on the calibrated simulated
+Altix at 1–256 processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.parallel_enumerator import (
+    SimulatedRun,
+    simulate_processor_sweep,
+)
+from repro.experiments.calibration import calibrated_spec, myogenic_trace
+from repro.experiments.workloads import INIT_K_MAP
+from repro.experiments.reporting import format_seconds, render_table
+
+__all__ = ["Figure5Result", "PROCESSOR_COUNTS", "run", "report"]
+
+PROCESSOR_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+#: Figure 5 plots these paper Init_K series.
+FIGURE5_INIT_KS = (18, 19, 20)
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """Run-time series per paper Init_K label."""
+
+    processor_counts: tuple[int, ...]
+    runs: dict[int, dict[int, SimulatedRun]]
+    """paper Init_K -> processor count -> run."""
+
+    def seconds(self, paper_init_k: int, p: int) -> float:
+        return self.runs[paper_init_k][p].elapsed_seconds
+
+
+def run(
+    init_ks: tuple[int, ...] = FIGURE5_INIT_KS,
+    processor_counts: tuple[int, ...] = PROCESSOR_COUNTS,
+) -> Figure5Result:
+    """Replay the cached traces across the processor sweep."""
+    spec = calibrated_spec()
+    runs: dict[int, dict[int, SimulatedRun]] = {}
+    for paper_k in init_ks:
+        trace = myogenic_trace(paper_k)
+        runs[paper_k] = simulate_processor_sweep(
+            trace, spec, list(processor_counts), balance=True
+        )
+    return Figure5Result(
+        processor_counts=tuple(processor_counts), runs=runs
+    )
+
+
+def report(result: Figure5Result | None = None) -> str:
+    """Render the Figure 5 series as a table (processors x Init_K)."""
+    r = result or run()
+    init_ks = sorted(r.runs)
+    headers = ["processors"] + [
+        f"Init_K={k} (scaled {INIT_K_MAP[k]})" for k in init_ks
+    ]
+    rows = []
+    for p in r.processor_counts:
+        rows.append(
+            [p] + [format_seconds(r.seconds(k, p)) for k in init_ks]
+        )
+    return render_table(
+        headers,
+        rows,
+        title=(
+            "Figure 5 - run time vs processors, myogenic-like workload "
+            "(simulated Altix, virtual seconds calibrated to the paper's "
+            "sequential axis)"
+        ),
+    )

@@ -1,0 +1,104 @@
+"""Figure 6: absolute and relative speedups up to 64 processors.
+
+Paper: "The absolute and relative speedups for up to 64 processors are
+plotted in Figure 6, which shows that the relative speedups remain around
+1.8 when the number of processors increases.  This performance pattern is
+observed for all different initial clique sizes from 3 to 20, though the
+absolute speedups for case Init_K=3 are better than the absolute speedups
+for the other three cases."
+
+Reproduction: absolute speedup ``T(1)/T(p)`` and relative speedup
+``T(p)/T(2p)`` from the calibrated simulation, for the paper Init_K
+labels {3, 18, 19, 20} at p ≤ 64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.metrics import absolute_speedup, relative_speedups
+from repro.parallel.parallel_enumerator import simulate_processor_sweep
+from repro.experiments.calibration import calibrated_spec, myogenic_trace
+from repro.experiments.workloads import INIT_K_MAP
+from repro.experiments.reporting import render_table
+
+__all__ = ["Figure6Result", "run", "report"]
+
+FIGURE6_INIT_KS = (3, 18, 19, 20)
+FIGURE6_PROCESSORS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Speedup series per paper Init_K label."""
+
+    processor_counts: tuple[int, ...]
+    absolute: dict[int, dict[int, float]]
+    """paper Init_K -> processor count -> T(1)/T(p)."""
+    relative: dict[int, dict[int, float]]
+    """paper Init_K -> processor count 2p -> T(p)/T(2p)."""
+
+    def mean_relative(self, paper_init_k: int) -> float:
+        vals = list(self.relative[paper_init_k].values())
+        return sum(vals) / len(vals) if vals else 0.0
+
+
+def run(
+    init_ks: tuple[int, ...] = FIGURE6_INIT_KS,
+    processor_counts: tuple[int, ...] = FIGURE6_PROCESSORS,
+) -> Figure6Result:
+    """Compute both speedup families from the calibrated simulation."""
+    spec = calibrated_spec()
+    absolute: dict[int, dict[int, float]] = {}
+    relative: dict[int, dict[int, float]] = {}
+    for paper_k in init_ks:
+        runs = simulate_processor_sweep(
+            myogenic_trace(paper_k), spec, list(processor_counts),
+            balance=True,
+        )
+        absolute[paper_k] = absolute_speedup(runs)
+        relative[paper_k] = relative_speedups(runs)
+    return Figure6Result(
+        processor_counts=tuple(processor_counts),
+        absolute=absolute,
+        relative=relative,
+    )
+
+
+def report(result: Figure6Result | None = None) -> str:
+    """Render both Figure 6 panels as tables."""
+    r = result or run()
+    init_ks = sorted(r.absolute)
+    headers = ["processors", "ideal"] + [
+        f"Init_K={k} (scaled {INIT_K_MAP[k]})" for k in init_ks
+    ]
+    abs_rows = []
+    for p in r.processor_counts:
+        abs_rows.append(
+            [p, p]
+            + [f"{r.absolute[k].get(p, float('nan')):.1f}" for k in init_ks]
+        )
+    rel_rows = []
+    for p in r.processor_counts:
+        if p == 1:
+            continue
+        rel_rows.append(
+            [p, "2.0"]
+            + [
+                f"{r.relative[k][p]:.2f}" if p in r.relative[k] else "-"
+                for k in init_ks
+            ]
+        )
+    left = render_table(
+        headers, abs_rows,
+        title="Figure 6 (left) - absolute speedup T(1)/T(p), p <= 64",
+    )
+    right = render_table(
+        headers, rel_rows,
+        title="Figure 6 (right) - relative speedup T(p)/T(2p) "
+              "(paper: stays around 1.8)",
+    )
+    means = ", ".join(
+        f"Init_K={k}: {r.mean_relative(k):.2f}" for k in init_ks
+    )
+    return f"{left}\n\n{right}\n\nmean relative speedups - {means}"

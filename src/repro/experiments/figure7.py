@@ -1,0 +1,114 @@
+"""Figure 7: 256-processor speedup grows with sequential run time.
+
+Paper: "the absolute speedup for 256 processors increases when the
+sequential run time increases.  The speedup will go up from 22 to 51 when
+the sequential run time increases from 98 seconds for Init_K=20 to 1,948
+seconds for Init_K=3.  [...] various problem sizes with different
+execution times have their optimal number of processors."
+
+Reproduction: for each paper Init_K the calibrated simulation's T(1) and
+T(256); the assertion is monotonicity — larger sequential time ⇒ larger
+256-processor speedup — driven by fixed synchronization overhead
+amortising over more work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.parallel_enumerator import simulate_run
+from repro.experiments.calibration import (
+    PAPER_SEQ_SECONDS,
+    calibrated_spec,
+    myogenic_trace,
+)
+from repro.experiments.workloads import INIT_K_MAP
+from repro.experiments.reporting import format_seconds, render_table
+
+__all__ = ["Figure7Row", "Figure7Result", "run", "report"]
+
+FIGURE7_INIT_KS = (20, 19, 18, 3)  # paper order: ascending T_seq
+PAPER_SPEEDUP_256 = {20: 22.0, 3: 51.0}
+
+
+@dataclass(frozen=True)
+class Figure7Row:
+    """One Init_K point of Figure 7."""
+
+    paper_init_k: int
+    scaled_init_k: int
+    sequential_seconds: float
+    parallel_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_seconds <= 0:
+            return float("inf")
+        return self.sequential_seconds / self.parallel_seconds
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """All Figure 7 rows, ordered by ascending sequential time."""
+
+    rows: list[Figure7Row]
+
+    def is_monotone(self) -> bool:
+        """The figure's claim: speedup increases with sequential time."""
+        ordered = sorted(self.rows, key=lambda r: r.sequential_seconds)
+        speedups = [r.speedup for r in ordered]
+        return all(a <= b * 1.001 for a, b in zip(speedups, speedups[1:]))
+
+
+def run(init_ks: tuple[int, ...] = FIGURE7_INIT_KS) -> Figure7Result:
+    """Simulate T(1) and T(256) per Init_K on the calibrated machine."""
+    spec = calibrated_spec()
+    rows = []
+    for paper_k in init_ks:
+        trace = myogenic_trace(paper_k)
+        t1 = simulate_run(trace, spec.with_processors(1), balance=True)
+        t256 = simulate_run(trace, spec.with_processors(256), balance=True)
+        rows.append(
+            Figure7Row(
+                paper_init_k=paper_k,
+                scaled_init_k=INIT_K_MAP[paper_k],
+                sequential_seconds=t1.elapsed_seconds,
+                parallel_seconds=t256.elapsed_seconds,
+            )
+        )
+    rows.sort(key=lambda r: r.sequential_seconds)
+    return Figure7Result(rows=rows)
+
+
+def report(result: Figure7Result | None = None) -> str:
+    """Render Figure 7 with the paper's reference points."""
+    r = result or run()
+    table_rows = []
+    for row in r.rows:
+        paper_seq = PAPER_SEQ_SECONDS.get(row.paper_init_k)
+        paper_sp = PAPER_SPEEDUP_256.get(row.paper_init_k)
+        table_rows.append(
+            [
+                f"Init_K={row.paper_init_k} (scaled {row.scaled_init_k})",
+                format_seconds(row.sequential_seconds),
+                format_seconds(row.parallel_seconds),
+                f"{row.speedup:.1f}x",
+                format_seconds(paper_seq) if paper_seq else "-",
+                f"{paper_sp:.0f}x" if paper_sp else "-",
+            ]
+        )
+    verdict = (
+        "speedup increases with sequential run time: "
+        + ("yes (matches paper)" if r.is_monotone() else "NO")
+    )
+    return (
+        render_table(
+            ["series", "T(1) simulated", "T(256) simulated",
+             "speedup(256)", "paper T(1)", "paper speedup(256)"],
+            table_rows,
+            title="Figure 7 - 256-processor absolute speedup vs "
+                  "sequential run time",
+        )
+        + "\n"
+        + verdict
+    )

@@ -1,0 +1,103 @@
+"""Figure 8: load balance of per-processor run times.
+
+Paper: "We also plot the mean and standard deviation of the execution
+time across different processors on the 2,895 vertices graph with
+Init_K=18 in Figure 8 [...] the standard deviations are within 10% of the
+average run times, which indicates the load are quite balanced across
+multiple processors during execution.  We plot for up to only 16
+processors here."
+
+Reproduction: per-processor total busy times from the calibrated
+simulation at p ∈ {2, 4, 8, 16}, with and without the dynamic load
+balancer (the ablation shows what the balancer buys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.metrics import LoadBalanceStats, load_balance_stats
+from repro.parallel.parallel_enumerator import simulate_run
+from repro.experiments.calibration import calibrated_spec, myogenic_trace
+from repro.experiments.workloads import INIT_K_MAP
+from repro.experiments.reporting import format_seconds, render_table
+
+__all__ = ["Figure8Result", "run", "report"]
+
+FIGURE8_PROCESSORS = (2, 4, 8, 16)
+FIGURE8_INIT_K = 18  # the paper's choice
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    """Load-balance statistics per processor count."""
+
+    paper_init_k: int
+    balanced: dict[int, LoadBalanceStats]
+    unbalanced: dict[int, LoadBalanceStats]
+
+    def max_std_over_mean(self) -> float:
+        """Worst balanced-run std/mean — paper asserts <= ~10 %."""
+        return max(
+            (s.std_over_mean for s in self.balanced.values()), default=0.0
+        )
+
+
+def run(
+    paper_init_k: int = FIGURE8_INIT_K,
+    processor_counts: tuple[int, ...] = FIGURE8_PROCESSORS,
+) -> Figure8Result:
+    """Simulate per-processor busy times with/without load balancing."""
+    spec = calibrated_spec()
+    trace = myogenic_trace(paper_init_k)
+    balanced = {}
+    unbalanced = {}
+    for p in processor_counts:
+        balanced[p] = load_balance_stats(
+            simulate_run(trace, spec.with_processors(p), balance=True)
+        )
+        unbalanced[p] = load_balance_stats(
+            simulate_run(trace, spec.with_processors(p), balance=False)
+        )
+    return Figure8Result(
+        paper_init_k=paper_init_k,
+        balanced=balanced,
+        unbalanced=unbalanced,
+    )
+
+
+def report(result: Figure8Result | None = None) -> str:
+    """Render Figure 8 plus the no-balancer ablation."""
+    r = result or run()
+    rows = []
+    for p in sorted(r.balanced):
+        b = r.balanced[p]
+        u = r.unbalanced[p]
+        rows.append(
+            [
+                p,
+                format_seconds(b.mean_busy),
+                format_seconds(b.std_busy),
+                f"{b.std_over_mean:.1%}",
+                b.n_transfers,
+                f"{u.std_over_mean:.1%}",
+            ]
+        )
+    verdict = (
+        f"max std/mean with balancing: {r.max_std_over_mean():.1%} "
+        "(paper: within 10%)"
+    )
+    return (
+        render_table(
+            ["processors", "mean busy", "std busy", "std/mean (balanced)",
+             "transfers", "std/mean (no balancer)"],
+            rows,
+            title=(
+                f"Figure 8 - per-processor run-time balance, "
+                f"Init_K={r.paper_init_k} "
+                f"(scaled {INIT_K_MAP[r.paper_init_k]})"
+            ),
+        )
+        + "\n"
+        + verdict
+    )

@@ -1,0 +1,93 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment module renders its result through :func:`render_table`
+so the regenerated rows/series look like the paper's tables and can be
+diffed between runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_seconds", "format_bytes"]
+
+
+def format_seconds(s: float) -> str:
+    """Compact human-readable duration."""
+    if s >= 100:
+        return f"{s:,.0f} s"
+    if s >= 1:
+        return f"{s:.2f} s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.2f} ms"
+    return f"{s * 1e6:.1f} us"
+
+
+def format_bytes(b: float) -> str:
+    """Compact human-readable byte count."""
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(b) < 1024 or unit == "TB":
+            return f"{b:,.1f} {unit}" if unit != "B" else f"{b:,.0f} B"
+        b /= 1024
+    return f"{b:,.1f} TB"  # pragma: no cover
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified with ``str``; floats the caller wants formatted
+    should be pre-formatted.  Columns are left-aligned for text, right-
+    aligned for numerics (detected per column from the data).
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    head = [str(h) for h in headers]
+    n_cols = len(head)
+    for row in cells:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {n_cols}: {row}"
+            )
+    widths = [
+        max(len(head[j]), *(len(r[j]) for r in cells)) if cells
+        else len(head[j])
+        for j in range(n_cols)
+    ]
+
+    def _numeric(col: int) -> bool:
+        for r in cells:
+            text = r[col].replace(",", "").replace("%", "")
+            text = text.removesuffix(" s").removesuffix(" ms")
+            text = text.removesuffix(" us").removesuffix(" GB")
+            text = text.removesuffix(" MB").removesuffix(" KB")
+            text = text.removesuffix(" B").removesuffix("x")
+            try:
+                float(text)
+            except ValueError:
+                return False
+        return bool(cells)
+
+    aligns = [_numeric(j) for j in range(n_cols)]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for j, cell in enumerate(row):
+            parts.append(
+                cell.rjust(widths[j]) if aligns[j] else cell.ljust(widths[j])
+            )
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(fmt_row(head))
+    out.append(sep)
+    for row in cells:
+        out.append(fmt_row(row))
+    out.append(sep)
+    return "\n".join(out)

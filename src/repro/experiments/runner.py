@@ -1,0 +1,75 @@
+"""Command-line driver regenerating every table and figure.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner table1 figure9
+
+Each experiment prints its report; ``all`` (default) runs them in paper
+order.  Regeneration is deterministic: workloads and traces are seeded
+and cached.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    maxclique_support,
+    table1,
+)
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS = {
+    "table1": table1.report,
+    "maxclique": maxclique_support.report,
+    "figure5": figure5.report,
+    "figure6": figure6.report,
+    "figure7": figure7.report,
+    "figure8": figure8.report,
+    "figure9": figure9.report,
+    "ablations": ablations.report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments and print their reports."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help=f"one or more of: all, {', '.join(EXPERIMENTS)}",
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"choose from: all, {', '.join(EXPERIMENTS)}"
+        )
+    for name in names:
+        t0 = time.perf_counter()
+        print(f"\n=== {name} " + "=" * max(0, 66 - len(name)))
+        print(EXPERIMENTS[name]())
+        print(f"[{name} regenerated in {time.perf_counter() - t0:.1f} s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Speedup and load-balance metrics for the parallel evaluation.
+
+The paper defines (Section 3):
+
+absolute speedup
+    "the ratio between p processors and one processor run times" —
+    ``T(1) / T(p)``.
+
+relative speedup
+    "the ratio between 2p processors and p processors run times" —
+    ``T(p) / T(2p)``, ideally 2, observed "around 1.8" up to 64
+    processors.
+
+Figure 8 plots the mean and standard deviation of per-processor execution
+time; the paper reports "the standard deviations are within 10% of the
+average run times", its evidence that loads are balanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.parallel_enumerator import SimulatedRun
+
+__all__ = [
+    "absolute_speedup",
+    "relative_speedups",
+    "speedup_table",
+    "LoadBalanceStats",
+    "load_balance_stats",
+]
+
+
+def absolute_speedup(runs: dict[int, SimulatedRun]) -> dict[int, float]:
+    """``T(1) / T(p)`` for every processor count in ``runs``.
+
+    Requires the single-processor run to be present.
+    """
+    if 1 not in runs:
+        raise ValueError("absolute speedup needs the 1-processor run")
+    t1 = runs[1].elapsed_seconds
+    return {
+        p: (t1 / r.elapsed_seconds if r.elapsed_seconds > 0 else 0.0)
+        for p, r in runs.items()
+    }
+
+
+def relative_speedups(runs: dict[int, SimulatedRun]) -> dict[int, float]:
+    """``T(p) / T(2p)`` for every doubling present in ``runs``.
+
+    Keyed by the *larger* processor count (i.e. entry ``2p`` compares
+    ``2p`` against ``p``), matching the paper's Figure 6 x-axis.
+    """
+    out: dict[int, float] = {}
+    for p, run in runs.items():
+        if 2 * p in runs and run.elapsed_seconds > 0:
+            t2p = runs[2 * p].elapsed_seconds
+            if t2p > 0:
+                out[2 * p] = run.elapsed_seconds / t2p
+    return out
+
+
+def speedup_table(
+    runs: dict[int, SimulatedRun]
+) -> list[tuple[int, float, float, float]]:
+    """Rows of ``(p, T(p), absolute speedup, efficiency)`` sorted by p."""
+    abs_sp = absolute_speedup(runs)
+    t1 = runs[1].elapsed_seconds
+    rows = []
+    for p in sorted(runs):
+        tp = runs[p].elapsed_seconds
+        rows.append((p, tp, abs_sp[p], t1 / (tp * p) if tp > 0 else 0.0))
+    return rows
+
+
+@dataclass(frozen=True)
+class LoadBalanceStats:
+    """Per-run load-balance summary (Figure 8 content).
+
+    ``mean_busy``/``std_busy`` aggregate each processor's *total* busy
+    time over the whole run; ``max_level_imbalance`` is the worst
+    per-level ratio of (max - mean) / mean across processors.
+    """
+
+    n_processors: int
+    mean_busy: float
+    std_busy: float
+    max_level_imbalance: float
+    n_transfers: int
+
+    @property
+    def std_over_mean(self) -> float:
+        """The paper's balance criterion: std as a fraction of the mean."""
+        if self.mean_busy == 0:
+            return 0.0
+        return self.std_busy / self.mean_busy
+
+
+def load_balance_stats(run: SimulatedRun) -> LoadBalanceStats:
+    """Aggregate per-processor busy times of a simulated run."""
+    p = run.n_processors
+    totals = [0.0] * p
+    max_imb = 0.0
+    for lv in run.per_level():
+        for t, b in enumerate(lv.busy_seconds):
+            totals[t] += b
+        if lv.busy_seconds:
+            mx = max(lv.busy_seconds)
+            mu = sum(lv.busy_seconds) / len(lv.busy_seconds)
+            if mu > 0:
+                max_imb = max(max_imb, (mx - mu) / mu)
+    mu = sum(totals) / p if p else 0.0
+    var = sum((b - mu) ** 2 for b in totals) / p if p else 0.0
+    return LoadBalanceStats(
+        n_processors=p,
+        mean_busy=mu,
+        std_busy=var ** 0.5,
+        max_level_imbalance=max_imb,
+        n_transfers=run.n_transfers,
+    )

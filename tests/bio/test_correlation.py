@@ -1,0 +1,103 @@
+"""Tests for correlation matrices — cross-checked against scipy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.bio.correlation import (
+    pearson_correlation,
+    rank_rows,
+    spearman_correlation,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(7)
+    return rng.normal(size=(12, 30))
+
+
+class TestPearson:
+    def test_matches_numpy_corrcoef(self, data):
+        ours = pearson_correlation(data)
+        ref = np.corrcoef(data)
+        assert np.allclose(ours, ref, atol=1e-10)
+
+    def test_diagonal_ones(self, data):
+        assert np.allclose(np.diag(pearson_correlation(data)), 1.0)
+
+    def test_symmetric(self, data):
+        c = pearson_correlation(data)
+        assert np.allclose(c, c.T)
+
+    def test_range(self, data):
+        c = pearson_correlation(data)
+        assert (c <= 1.0).all() and (c >= -1.0).all()
+
+    def test_constant_row_is_zero_not_nan(self):
+        m = np.vstack([np.ones(10), np.arange(10, dtype=float)])
+        c = pearson_correlation(m)
+        assert not np.isnan(c).any()
+        assert c[0, 1] == 0.0
+        assert c[0, 0] == 1.0
+
+    def test_perfect_correlation(self):
+        x = np.arange(10, dtype=float)
+        m = np.vstack([x, 2 * x + 3, -x])
+        c = pearson_correlation(m)
+        assert c[0, 1] == pytest.approx(1.0)
+        assert c[0, 2] == pytest.approx(-1.0)
+
+    def test_nan_rejected(self):
+        m = np.array([[1.0, np.nan], [0.0, 1.0]])
+        with pytest.raises(ParameterError):
+            pearson_correlation(m)
+
+    def test_too_few_conditions(self):
+        with pytest.raises(ParameterError):
+            pearson_correlation(np.zeros((3, 1)))
+
+    def test_non_2d(self):
+        with pytest.raises(ParameterError):
+            pearson_correlation(np.zeros(5))
+
+
+class TestRanks:
+    def test_simple_ranks(self):
+        r = rank_rows(np.array([[30.0, 10.0, 20.0]]))
+        assert r.tolist() == [[3.0, 1.0, 2.0]]
+
+    def test_midranks_for_ties(self):
+        r = rank_rows(np.array([[5.0, 5.0, 1.0]]))
+        assert r.tolist() == [[2.5, 2.5, 1.0]]
+
+    def test_matches_scipy_rankdata(self):
+        rng = np.random.default_rng(3)
+        m = rng.integers(0, 5, size=(6, 15)).astype(float)
+        ours = rank_rows(m)
+        for i in range(6):
+            ref = scipy.stats.rankdata(m[i])
+            assert np.allclose(ours[i], ref), f"row {i}"
+
+
+class TestSpearman:
+    def test_matches_scipy(self, data):
+        ours = spearman_correlation(data)
+        ref, _ = scipy.stats.spearmanr(data, axis=1)
+        assert np.allclose(ours, ref, atol=1e-10)
+
+    def test_matches_scipy_with_ties(self):
+        rng = np.random.default_rng(5)
+        m = rng.integers(0, 4, size=(8, 25)).astype(float)
+        ours = spearman_correlation(m)
+        ref, _ = scipy.stats.spearmanr(m, axis=1)
+        assert np.allclose(ours, ref, atol=1e-10)
+
+    def test_monotone_transform_invariance(self, data):
+        """Spearman is invariant to monotone transforms of rows."""
+        a = spearman_correlation(data)
+        b = spearman_correlation(np.exp(data))
+        assert np.allclose(a, b, atol=1e-10)

@@ -1,0 +1,155 @@
+"""Tests for synthetic expression data and normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bio.expression import (
+    ModuleSpec,
+    impute_missing,
+    inject_missing,
+    log2_transform,
+    quantile_normalize,
+    synthetic_expression,
+    zscore_normalize,
+)
+from repro.errors import ParameterError
+
+
+class TestModuleSpec:
+    def test_valid(self):
+        ModuleSpec(5, 0.8)
+
+    def test_invalid_size(self):
+        with pytest.raises(ParameterError):
+            ModuleSpec(0, 0.8)
+
+    def test_invalid_rho(self):
+        with pytest.raises(ParameterError):
+            ModuleSpec(5, 0.0)
+        with pytest.raises(ParameterError):
+            ModuleSpec(5, 1.1)
+
+
+class TestSynthetic:
+    def test_shape(self):
+        ds = synthetic_expression(50, 20, seed=1)
+        assert ds.matrix.shape == (50, 20)
+        assert ds.n_genes == 50
+        assert ds.n_conditions == 20
+        assert len(ds.gene_names) == 50
+        assert len(ds.condition_names) == 20
+
+    def test_deterministic(self):
+        a = synthetic_expression(30, 10, [ModuleSpec(5)], seed=3)
+        b = synthetic_expression(30, 10, [ModuleSpec(5)], seed=3)
+        assert np.array_equal(a.matrix, b.matrix)
+        assert a.modules == b.modules
+
+    def test_modules_disjoint(self):
+        ds = synthetic_expression(
+            60, 20, [ModuleSpec(10), ModuleSpec(10), ModuleSpec(10)], seed=2
+        )
+        all_members = [v for m in ds.modules for v in m]
+        assert len(all_members) == len(set(all_members)) == 30
+
+    def test_module_members_correlate(self):
+        ds = synthetic_expression(
+            40, 60, [ModuleSpec(8, rho=0.95)], seed=4
+        )
+        m = ds.modules[0]
+        corr = np.corrcoef(ds.matrix[m])
+        off_diag = corr[np.triu_indices(8, k=1)]
+        assert off_diag.mean() > 0.8
+
+    def test_background_uncorrelated(self):
+        ds = synthetic_expression(40, 200, seed=5)
+        corr = np.corrcoef(ds.matrix)
+        off = np.abs(corr[np.triu_indices(40, k=1)])
+        assert off.mean() < 0.15
+
+    def test_oversubscribed_modules_rejected(self):
+        with pytest.raises(ParameterError):
+            synthetic_expression(5, 10, [ModuleSpec(6)])
+
+    def test_invalid_dims(self):
+        with pytest.raises(ParameterError):
+            synthetic_expression(-1, 5)
+        with pytest.raises(ParameterError):
+            synthetic_expression(5, 0)
+
+
+class TestNormalization:
+    def test_zscore_rows(self):
+        m = np.array([[1.0, 2.0, 3.0], [10.0, 20.0, 30.0]])
+        z = zscore_normalize(m, axis=1)
+        assert np.allclose(z.mean(axis=1), 0)
+        assert np.allclose(z.std(axis=1), 1)
+
+    def test_zscore_constant_row_safe(self):
+        m = np.array([[5.0, 5.0, 5.0]])
+        z = zscore_normalize(m)
+        assert np.allclose(z, 0)
+        assert not np.isnan(z).any()
+
+    def test_quantile_equalizes_distributions(self):
+        rng = np.random.default_rng(0)
+        m = np.column_stack(
+            [rng.normal(0, 1, 200), rng.normal(5, 3, 200)]
+        )
+        q = quantile_normalize(m)
+        assert np.allclose(
+            np.sort(q[:, 0]), np.sort(q[:, 1])
+        )
+
+    def test_quantile_preserves_ranks(self):
+        m = np.array([[3.0, 30.0], [1.0, 10.0], [2.0, 20.0]])
+        q = quantile_normalize(m)
+        assert np.array_equal(
+            np.argsort(q[:, 0]), np.argsort(m[:, 0])
+        )
+
+    def test_quantile_requires_2d(self):
+        with pytest.raises(ParameterError):
+            quantile_normalize(np.zeros(5))
+
+    def test_log2(self):
+        m = np.array([[0.0, 1.0, 3.0]])
+        out = log2_transform(m)
+        assert np.allclose(out, [[0.0, 1.0, 2.0]])
+
+    def test_log2_rejects_negative_domain(self):
+        with pytest.raises(ParameterError):
+            log2_transform(np.array([[-2.0]]))
+
+
+class TestMissing:
+    def test_inject_rate(self):
+        m = np.zeros((100, 100))
+        out = inject_missing(m, 0.25, seed=1)
+        frac = np.isnan(out).mean()
+        assert 0.2 < frac < 0.3
+
+    def test_inject_invalid_rate(self):
+        with pytest.raises(ParameterError):
+            inject_missing(np.zeros((2, 2)), 1.0)
+
+    def test_impute_row_means(self):
+        m = np.array([[1.0, np.nan, 3.0]])
+        out = impute_missing(m)
+        assert out[0, 1] == pytest.approx(2.0)
+
+    def test_impute_all_nan_row(self):
+        m = np.array([[np.nan, np.nan]])
+        out = impute_missing(m)
+        assert np.allclose(out, 0.0)
+
+    def test_impute_roundtrip_preserves_observed(self):
+        rng = np.random.default_rng(2)
+        m = rng.normal(size=(20, 10))
+        holed = inject_missing(m, 0.1, seed=3)
+        fixed = impute_missing(holed)
+        mask = ~np.isnan(holed)
+        assert np.allclose(fixed[mask], m[mask])
+        assert not np.isnan(fixed).any()

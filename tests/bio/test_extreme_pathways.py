@@ -1,0 +1,135 @@
+"""Tests for extreme pathway enumeration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bio.extreme_pathways import extreme_pathways
+from repro.bio.stoichiometry import MetabolicNetwork, Reaction, example_network
+from repro.errors import SolverError
+
+
+class TestExampleNetwork:
+    def test_three_pathways(self):
+        res = extreme_pathways(example_network())
+        assert len(res) == 3
+
+    def test_pathways_are_the_known_routes(self):
+        res = extreme_pathways(example_network())
+        names = res.reaction_names
+        as_dicts = [
+            {n: f for n, f in zip(names, p) if f}
+            for p in res.pathways
+        ]
+        expected = [
+            {"uptake": 1, "v1": 1, "drainB": 1},
+            {"uptake": 1, "v2": 1, "v3": 1, "drainB": 1},
+            {"uptake": 1, "v2": 1, "drainC": 1},
+        ]
+        for e in expected:
+            assert e in as_dicts
+
+    def test_all_steady_state(self):
+        net = example_network()
+        res = extreme_pathways(net)
+        for p in res.pathways:
+            assert net.flux_is_steady(np.asarray(p, dtype=float))
+
+    def test_matrix_view(self):
+        res = extreme_pathways(example_network())
+        m = res.as_matrix()
+        assert m.shape == (3, 6)
+
+    def test_active_reactions(self):
+        res = extreme_pathways(example_network())
+        for i in range(len(res)):
+            active = res.active_reactions(i)
+            assert "uptake" in active
+
+
+class TestLinearChain:
+    def test_single_path(self):
+        net = MetabolicNetwork(
+            [
+                Reaction("in", {"Xext": -1, "A": 1}),
+                Reaction("mid", {"A": -1, "B": 1}),
+                Reaction("out", {"B": -1, "Yext": 1}),
+            ],
+            external={"Xext", "Yext"},
+        )
+        res = extreme_pathways(net)
+        assert res.pathways == [(1, 1, 1)]
+
+    def test_dead_end_has_no_pathway(self):
+        net = MetabolicNetwork(
+            [
+                Reaction("in", {"Xext": -1, "A": 1}),
+                Reaction("mid", {"A": -1, "B": 1}),
+            ],
+            external={"Xext"},
+        )
+        res = extreme_pathways(net)
+        assert len(res) == 0
+
+
+class TestReversible:
+    def test_reversible_collapses_two_cycle(self):
+        net = MetabolicNetwork(
+            [
+                Reaction("in", {"Xext": -1, "A": 1}),
+                Reaction("rev", {"A": -1, "B": 1}, reversible=True),
+                Reaction("out", {"B": -1, "Yext": 1}),
+            ],
+            external={"Xext", "Yext"},
+        )
+        res = extreme_pathways(net)
+        # the forward route only; the fwd+bwd futile cycle is dropped
+        assert res.pathways == [(1, 1, 1)]
+
+    def test_reversible_allows_negative_flux(self):
+        net = MetabolicNetwork(
+            [
+                Reaction("inA", {"Xext": -1, "A": 1}),
+                Reaction("rev", {"A": -1, "B": 1}, reversible=True),
+                Reaction("outA", {"A": -1, "Yext": 1}),
+                Reaction("inB", {"Zext": -1, "B": 1}),
+            ],
+            external={"Xext", "Yext", "Zext"},
+        )
+        res = extreme_pathways(net)
+        # one mode runs `rev` backwards: B -> A -> out
+        flats = set(res.pathways)
+        assert any(p[1] < 0 for p in flats)
+
+
+class TestStress:
+    def test_parallel_routes_count(self):
+        """m parallel branches -> m extreme pathways."""
+        reactions = [Reaction("in", {"Xext": -1, "A": 1}),
+                     Reaction("out", {"B": -1, "Yext": 1})]
+        for i in range(4):
+            reactions.append(Reaction(f"b{i}", {"A": -1, "B": 1}))
+        net = MetabolicNetwork(reactions, external={"Xext", "Yext"})
+        res = extreme_pathways(net)
+        assert len(res) == 4
+
+    def test_ray_budget(self):
+        reactions = [Reaction("in", {"Xext": -1, "A": 1}),
+                     Reaction("out", {"B": -1, "Yext": 1})]
+        for i in range(6):
+            reactions.append(Reaction(f"b{i}", {"A": -1, "B": 1}))
+        net = MetabolicNetwork(reactions, external={"Xext", "Yext"})
+        with pytest.raises(SolverError, match="max_rays"):
+            extreme_pathways(net, max_rays=2)
+
+    def test_canonical_integer_normalisation(self):
+        net = MetabolicNetwork(
+            [
+                Reaction("in", {"Xext": -1, "A": 2}),
+                Reaction("out", {"A": -2, "Yext": 1}),
+            ],
+            external={"Xext", "Yext"},
+        )
+        res = extreme_pathways(net)
+        assert res.pathways == [(1, 1)]

@@ -1,0 +1,129 @@
+"""Tests for feedback vertex set."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.fvs import (
+    feedback_vertex_set_decision,
+    is_acyclic,
+    is_feedback_vertex_set,
+    minimum_feedback_vertex_set,
+    shortest_cycle,
+)
+from repro.core.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.core.graph import Graph
+from repro.errors import ParameterError
+
+
+class TestAcyclicity:
+    def test_forest(self):
+        assert is_acyclic(path_graph(6))
+        assert is_acyclic(star_graph(5))
+        assert is_acyclic(Graph(4))
+
+    def test_cycles(self):
+        assert not is_acyclic(cycle_graph(3))
+        assert not is_acyclic(complete_graph(4))
+
+
+class TestShortestCycle:
+    def test_none_for_forest(self):
+        assert shortest_cycle(path_graph(5)) is None
+
+    def test_triangle_found(self):
+        g = complete_graph(4)
+        c = shortest_cycle(g)
+        assert len(c) == 3
+        assert g.is_clique(c)
+
+    def test_girth_of_cycle_graph(self):
+        c = shortest_cycle(cycle_graph(7))
+        assert len(c) == 7
+
+    def test_cycle_is_closed_walk(self):
+        g = erdos_renyi(20, 0.2, seed=4)
+        c = shortest_cycle(g)
+        if c is not None:
+            assert len(c) == len(set(c))
+            for a, b in zip(c, c[1:]):
+                assert g.has_edge(a, b)
+            assert g.has_edge(c[-1], c[0])
+
+
+class TestDecision:
+    def test_forest_needs_zero(self):
+        assert feedback_vertex_set_decision(path_graph(5), 0) == []
+
+    def test_cycle_needs_one(self):
+        assert feedback_vertex_set_decision(cycle_graph(5), 0) is None
+        sol = feedback_vertex_set_decision(cycle_graph(5), 1)
+        assert sol is not None and len(sol) == 1
+
+    def test_negative_budget(self):
+        with pytest.raises(ParameterError):
+            feedback_vertex_set_decision(cycle_graph(3), -1)
+
+    def test_k4_needs_two(self):
+        assert feedback_vertex_set_decision(complete_graph(4), 1) is None
+        sol = feedback_vertex_set_decision(complete_graph(4), 2)
+        assert sol is not None and len(sol) == 2
+
+
+class TestMinimum:
+    def test_known_sizes(self):
+        assert minimum_feedback_vertex_set(path_graph(5)) == []
+        assert len(minimum_feedback_vertex_set(cycle_graph(6))) == 1
+        assert len(minimum_feedback_vertex_set(complete_graph(5))) == 3
+        assert len(minimum_feedback_vertex_set(barbell_graph(3))) == 2
+
+    def test_two_disjoint_cycles(self):
+        g = Graph.from_edges(
+            6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+        )
+        assert len(minimum_feedback_vertex_set(g)) == 2
+
+    def test_solution_is_valid(self):
+        g = erdos_renyi(16, 0.25, seed=8)
+        sol = minimum_feedback_vertex_set(g)
+        assert is_feedback_vertex_set(g, sol)
+
+    def test_solution_is_minimal(self):
+        g = erdos_renyi(14, 0.3, seed=2)
+        sol = minimum_feedback_vertex_set(g)
+        for v in sol:
+            rest = [u for u in sol if u != v]
+            assert not is_feedback_vertex_set(g, rest)
+
+
+class TestValidator:
+    def test_removing_everything_is_acyclic(self, k5):
+        assert is_feedback_vertex_set(k5, list(range(5)))
+
+    def test_empty_set_on_cycle(self):
+        assert not is_feedback_vertex_set(cycle_graph(4), [])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.floats(min_value=0.0, max_value=0.5),
+    st.integers(min_value=0, max_value=300),
+)
+def test_fvs_property(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    sol = minimum_feedback_vertex_set(g)
+    assert is_feedback_vertex_set(g, sol)
+    # cyclomatic lower bound: need at least m - n + components... use the
+    # weaker sanity bound: solution no larger than n - 2 for any graph
+    # with a cycle, and empty iff acyclic
+    assert (sol == []) == is_acyclic(g)

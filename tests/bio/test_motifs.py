@@ -1,0 +1,112 @@
+"""Tests for clique-based motif finding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bio.motifs import (
+    build_occurrence_graph,
+    consensus,
+    find_motif,
+    hamming,
+    plant_motif,
+)
+from repro.errors import ParameterError
+
+
+class TestHamming:
+    def test_basic(self):
+        assert hamming("ACGT", "ACGA") == 1
+        assert hamming("AAAA", "TTTT") == 4
+        assert hamming("", "") == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            hamming("A", "AB")
+
+
+class TestPlanting:
+    def test_instance_shape(self):
+        inst = plant_motif(5, 60, 8, d=1, seed=2)
+        assert len(inst.sequences) == 5
+        assert all(len(s) == 60 for s in inst.sequences)
+        assert inst.l == 8
+
+    def test_planted_copies_at_distance_d(self):
+        inst = plant_motif(6, 50, 10, d=2, seed=3)
+        for window in inst.planted_windows():
+            assert hamming(window, inst.motif) == 2
+
+    def test_deterministic(self):
+        a = plant_motif(4, 40, 6, d=1, seed=7)
+        b = plant_motif(4, 40, 6, d=1, seed=7)
+        assert a.sequences == b.sequences
+        assert a.positions == b.positions
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            plant_motif(3, 5, 10, d=1)
+        with pytest.raises(ParameterError):
+            plant_motif(3, 20, 5, d=6)
+
+
+class TestOccurrenceGraph:
+    def test_vertices_are_windows(self):
+        g, labels = build_occurrence_graph(["ACGT", "ACGT"], 3, 0)
+        assert g.n == 4  # 2 windows per sequence
+        assert labels[0] == (0, 0)
+        assert labels[-1] == (1, 1)
+
+    def test_identical_windows_connected(self):
+        g, labels = build_occurrence_graph(["ACG", "ACG"], 3, 0)
+        assert g.has_edge(0, 1)
+
+    def test_no_intra_sequence_edges(self):
+        g, labels = build_occurrence_graph(["AAAA"], 3, 3)
+        # both windows are in the same sequence: no edge allowed
+        assert g.m == 0
+
+    def test_distance_threshold(self):
+        g, _ = build_occurrence_graph(["ACG", "AGG"], 3, 0)
+        assert g.m == 0
+        g, _ = build_occurrence_graph(["ACG", "AGG"], 3, 1)
+        assert g.m == 1
+
+    def test_invalid_length(self):
+        with pytest.raises(ParameterError):
+            build_occurrence_graph(["ACG"], 0, 1)
+
+
+class TestConsensus:
+    def test_majority(self):
+        assert consensus(["ACG", "ACG", "ATG"]) == "ACG"
+
+    def test_empty(self):
+        assert consensus([]) == ""
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ParameterError):
+            consensus(["AC", "A"])
+
+
+class TestFindMotif:
+    def test_recovers_planted_motif(self):
+        inst = plant_motif(
+            n_sequences=5, seq_length=40, motif_length=8, d=1, seed=11
+        )
+        result = find_motif(inst.sequences, inst.l, inst.d)
+        # one occurrence per sequence
+        seqs_hit = {si for si, _ in result.occurrences}
+        assert seqs_hit == set(range(5))
+        # the recovered positions are the planted ones
+        expected = sorted(enumerate(inst.positions))
+        assert result.occurrences == expected
+        # consensus within d of the true motif (majority vote repairs
+        # most mutations)
+        assert hamming(result.consensus, inst.motif) <= inst.d
+
+    def test_exact_motif_no_mutations(self):
+        inst = plant_motif(4, 30, 7, d=0, seed=5)
+        result = find_motif(inst.sequences, 7, 0)
+        assert result.consensus == inst.motif
+        assert len(result.occurrences) == 4

@@ -1,0 +1,137 @@
+"""Tests for pairwise sequence alignment."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.pairwise import (
+    needleman_wunsch,
+    percent_identity,
+    smith_waterman,
+)
+from repro.errors import AlignmentError
+
+DNA = st.text(alphabet="ACGT", min_size=0, max_size=30)
+
+
+class TestIdentity:
+    def test_full_match(self):
+        assert percent_identity("ACGT", "ACGT") == 1.0
+
+    def test_no_match(self):
+        assert percent_identity("AAAA", "TTTT") == 0.0
+
+    def test_gaps_do_not_count_as_match(self):
+        assert percent_identity("A-", "A-") == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(AlignmentError):
+            percent_identity("A", "AB")
+
+    def test_empty(self):
+        assert percent_identity("", "") == 1.0
+
+
+class TestNeedlemanWunsch:
+    def test_identical(self):
+        r = needleman_wunsch("ACGT", "ACGT")
+        assert r.score == 4.0
+        assert r.aligned_a == "ACGT"
+        assert r.identity == 1.0
+
+    def test_empty_vs_seq(self):
+        r = needleman_wunsch("", "ACG", gap=-2.0)
+        assert r.score == -6.0
+        assert r.aligned_a == "---"
+        assert r.aligned_b == "ACG"
+
+    def test_both_empty(self):
+        r = needleman_wunsch("", "")
+        assert r.score == 0.0
+        assert len(r) == 0
+
+    def test_single_substitution(self):
+        r = needleman_wunsch("ACGT", "AGGT", match=1, mismatch=-1, gap=-2)
+        assert r.score == 2.0
+        assert len(r.aligned_a) == 4
+
+    def test_gap_placement(self):
+        r = needleman_wunsch("ACGT", "AGT", match=1, mismatch=-1, gap=-1)
+        assert r.score == 2.0
+        assert r.aligned_b.count("-") == 1
+
+    def test_alignment_columns_consistent(self):
+        r = needleman_wunsch("GATTACA", "GCATGCU")
+        assert len(r.aligned_a) == len(r.aligned_b)
+        assert r.aligned_a.replace("-", "") == "GATTACA"
+        assert r.aligned_b.replace("-", "") == "GCATGCU"
+
+    def test_positive_gap_rejected(self):
+        with pytest.raises(AlignmentError):
+            needleman_wunsch("A", "A", gap=1.0)
+
+    def test_symmetric_score(self):
+        a, b = "ACCGGTT", "AGGTCT"
+        assert needleman_wunsch(a, b).score == needleman_wunsch(b, a).score
+
+
+class TestSmithWaterman:
+    def test_exact_substring(self):
+        r = smith_waterman("AAACCGTTT", "CCGT", match=2)
+        assert r.aligned_a == "CCGT"
+        assert r.score == 8.0
+
+    def test_no_common_content(self):
+        r = smith_waterman("AAAA", "TTTT")
+        assert r.score <= 2.0  # at best a spurious 1-char hit scores match
+
+    def test_empty_inputs(self):
+        r = smith_waterman("", "ACGT")
+        assert r.score == 0.0
+        assert r.aligned_a == ""
+
+    def test_score_never_negative(self):
+        r = smith_waterman("ACG", "TTT")
+        assert r.score >= 0.0
+
+    def test_local_beats_global_on_flanked_motif(self):
+        a = "TTTTTTCOREGGGGGG".replace("O", "A")  # CARE motif inside junk
+        b = "CARE"
+        local = smith_waterman(a, b)
+        glob = needleman_wunsch(a, b)
+        assert local.score > glob.score
+
+    def test_positive_gap_rejected(self):
+        with pytest.raises(AlignmentError):
+            smith_waterman("A", "A", gap=0.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(DNA, DNA)
+def test_nw_properties(a, b):
+    r = needleman_wunsch(a, b)
+    # gapped strings reproduce the inputs
+    assert r.aligned_a.replace("-", "") == a
+    assert r.aligned_b.replace("-", "") == b
+    assert len(r.aligned_a) == len(r.aligned_b)
+    # no column aligns two gaps
+    for x, y in zip(r.aligned_a, r.aligned_b):
+        assert not (x == "-" and y == "-")
+
+
+@settings(max_examples=40, deadline=None)
+@given(DNA)
+def test_nw_self_alignment_perfect(a):
+    r = needleman_wunsch(a, a)
+    assert r.score == float(len(a))
+    assert r.aligned_a == a
+
+
+@settings(max_examples=30, deadline=None)
+@given(DNA, DNA)
+def test_sw_within_global_bounds(a, b):
+    local = smith_waterman(a, b, match=1.0, mismatch=-1.0, gap=-2.0)
+    assert local.score >= 0.0
+    assert local.score <= min(len(a), len(b)) * 1.0 + 1e-9

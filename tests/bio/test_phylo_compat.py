@@ -1,0 +1,174 @@
+"""Tests for character compatibility and perfect phylogeny."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bio.phylo_compat import (
+    build_perfect_phylogeny,
+    compatibility_graph,
+    four_gamete_compatible,
+    largest_compatible_set,
+)
+from repro.errors import ParameterError, SolverError
+
+
+class TestFourGamete:
+    def test_compatible_nested(self):
+        a = np.array([1, 1, 0, 0])
+        b = np.array([1, 0, 0, 0])  # b's taxa nested in a's
+        assert four_gamete_compatible(a, b)
+
+    def test_compatible_disjoint(self):
+        a = np.array([1, 1, 0, 0])
+        b = np.array([0, 0, 1, 1])
+        assert four_gamete_compatible(a, b)
+
+    def test_incompatible_all_four(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert not four_gamete_compatible(a, b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            four_gamete_compatible(np.array([0, 1]), np.array([0, 1, 0]))
+
+
+class TestCompatibilityGraph:
+    def test_structure(self):
+        # chars: c0={t0,t1}, c1={t0}, c2 conflicts with c0
+        m = np.array(
+            [
+                [1, 1, 0],
+                [1, 0, 1],
+                [0, 0, 1],
+                [0, 0, 0],
+            ]
+        )
+        g = compatibility_graph(m)
+        assert g.has_edge(0, 1)      # nested
+        assert not g.has_edge(0, 2)  # all four gametes
+        assert g.has_edge(1, 2)      # disjoint
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ParameterError):
+            compatibility_graph(np.array([[0, 2]]))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ParameterError):
+            compatibility_graph(np.array([0, 1]))
+
+
+class TestLargestCompatible:
+    def test_all_compatible(self):
+        # laminar family: {0,1,2,3} > {0,1} > {0}
+        m = np.array(
+            [
+                [1, 1, 1],
+                [1, 1, 0],
+                [1, 0, 0],
+                [1, 0, 0],
+            ]
+        )
+        assert largest_compatible_set(m) == [0, 1, 2]
+
+    def test_conflicting_pair(self):
+        m = np.array(
+            [
+                [1, 0],
+                [1, 1],
+                [0, 1],
+                [0, 0],
+            ]
+        )
+        # compatible? patterns: (1,0),(1,1),(0,1),(0,0) = all four -> no
+        assert len(largest_compatible_set(m)) == 1
+
+    def test_empty_matrix(self):
+        assert largest_compatible_set(np.zeros((3, 0))) == []
+
+    def test_clique_is_jointly_realisable(self):
+        """Pairwise-compatible sets must admit a perfect phylogeny."""
+        rng = np.random.default_rng(9)
+        m = (rng.random((8, 10)) < 0.4).astype(int)
+        best = largest_compatible_set(m)
+        tree = build_perfect_phylogeny(m, best)  # must not raise
+        assert sorted(tree.all_taxa()) == list(range(8))
+
+
+class TestPerfectPhylogeny:
+    def test_simple_tree_structure(self):
+        m = np.array(
+            [
+                [1, 1, 0],
+                [1, 0, 0],
+                [0, 0, 1],
+            ]
+        )
+        tree = build_perfect_phylogeny(m)
+        assert sorted(tree.all_taxa()) == [0, 1, 2]
+        chars_in_tree = set()
+
+        def collect(node):
+            if node.character >= 0:
+                chars_in_tree.add(node.character)
+            for ch in node.children:
+                collect(ch)
+
+        collect(tree)
+        assert chars_in_tree == {0, 1, 2}
+
+    def test_incompatible_raises(self):
+        m = np.array(
+            [
+                [1, 0],
+                [1, 1],
+                [0, 1],
+                [0, 0],
+            ]
+        )
+        with pytest.raises(SolverError):
+            build_perfect_phylogeny(m)
+
+    def test_character_taxa_form_subtrees(self):
+        """Every character's (recoded) taxa set is exactly one subtree."""
+        m = np.array(
+            [
+                [1, 1, 0, 0],
+                [1, 1, 0, 0],
+                [1, 0, 1, 0],
+                [0, 0, 1, 1],
+                [0, 0, 0, 1],
+            ]
+        )
+        chars = largest_compatible_set(m)
+        tree = build_perfect_phylogeny(m, chars)
+
+        def find(node, c):
+            if node.character == c:
+                return node
+            for ch in node.children:
+                got = find(ch, c)
+                if got is not None:
+                    return got
+            return None
+
+        for c in chars:
+            node = find(tree, c)
+            col = m[:, c]
+            if node is None:
+                # characters whose recoded taxa set is empty need no edge
+                recoded = (1 - col) if col[0] == 1 else col
+                assert not recoded.any()
+                continue
+            expected = set(
+                np.flatnonzero(
+                    (1 - col) if node.flipped else col
+                ).tolist()
+            )
+            assert set(node.all_taxa()) == expected
+
+    def test_bad_character_index(self):
+        with pytest.raises(ParameterError):
+            build_perfect_phylogeny(np.array([[1]]), [5])

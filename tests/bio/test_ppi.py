@@ -1,0 +1,105 @@
+"""Tests for PPI noise simulation and Boolean cleaning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bio.ppi import (
+    clean_by_voting,
+    observe_with_noise,
+    score_recovery,
+    simulate_replicates,
+)
+from repro.core.generators import erdos_renyi
+from repro.core.graph import Graph
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return erdos_renyi(60, 0.1, seed=42)
+
+
+class TestObservation:
+    def test_no_noise_is_identity(self, truth):
+        obs = observe_with_noise(truth, 0.0, 0.0, seed=1)
+        assert obs == truth
+
+    def test_full_fn_erases(self, truth):
+        obs = observe_with_noise(truth, 0.0, 1.0, seed=1)
+        assert obs.m == 0
+
+    def test_full_fp_completes(self, truth):
+        obs = observe_with_noise(truth, 1.0, 0.0, seed=1)
+        assert obs.m == truth.n * (truth.n - 1) // 2
+
+    def test_rates_validated(self, truth):
+        with pytest.raises(ParameterError):
+            observe_with_noise(truth, -0.1, 0.0)
+        with pytest.raises(ParameterError):
+            observe_with_noise(truth, 0.0, 1.5)
+
+    def test_deterministic(self, truth):
+        a = observe_with_noise(truth, 0.05, 0.2, seed=7)
+        b = observe_with_noise(truth, 0.05, 0.2, seed=7)
+        assert a == b
+
+    def test_fn_rate_approximate(self, truth):
+        obs = observe_with_noise(truth, 0.0, 0.3, seed=3)
+        kept = obs.m / truth.m
+        assert 0.55 < kept < 0.85
+
+
+class TestReplicates:
+    def test_count_and_independence(self, truth):
+        reps = simulate_replicates(truth, 4, 0.01, 0.2, seed=5)
+        assert len(reps) == 4
+        assert reps[0] != reps[1]
+
+    def test_at_least_one(self, truth):
+        with pytest.raises(ParameterError):
+            simulate_replicates(truth, 0, 0.0, 0.0)
+
+
+class TestCleaning:
+    def test_voting_improves_precision(self, truth):
+        reps = simulate_replicates(truth, 5, fp_rate=0.02, fn_rate=0.2,
+                                   seed=9)
+        single = score_recovery(truth, reps[0])
+        voted = score_recovery(truth, clean_by_voting(reps, 3))
+        assert voted.precision >= single.precision
+        assert voted.f1 > 0.8
+
+    def test_strict_vote_trades_recall(self, truth):
+        reps = simulate_replicates(truth, 5, fp_rate=0.02, fn_rate=0.2,
+                                   seed=11)
+        loose = score_recovery(truth, clean_by_voting(reps, 1))
+        strict = score_recovery(truth, clean_by_voting(reps, 5))
+        assert strict.precision >= loose.precision
+        assert strict.recall <= loose.recall
+
+
+class TestScore:
+    def test_perfect(self, truth):
+        s = score_recovery(truth, truth)
+        assert s.precision == 1.0
+        assert s.recall == 1.0
+        assert s.f1 == 1.0
+
+    def test_empty_prediction(self, truth):
+        s = score_recovery(truth, Graph(truth.n))
+        assert s.precision == 1.0  # vacuous
+        assert s.recall == 0.0
+        assert s.f1 == 0.0
+
+    def test_counts(self):
+        t = Graph.from_edges(4, [(0, 1), (1, 2)])
+        p = Graph.from_edges(4, [(0, 1), (2, 3)])
+        s = score_recovery(t, p)
+        assert (s.true_positives, s.false_positives, s.false_negatives) == (
+            1, 1, 1,
+        )
+
+    def test_size_mismatch(self, truth):
+        with pytest.raises(ParameterError):
+            score_recovery(truth, Graph(truth.n + 1))

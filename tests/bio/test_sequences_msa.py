@@ -1,0 +1,233 @@
+"""Tests for sequence generation, MSA, and pathway alignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bio.msa import (
+    distance_matrix,
+    neighbor_joining,
+    progressive_alignment,
+    sum_of_pairs,
+)
+from repro.bio.pathway_alignment import align_pathways, conserved_segments
+from repro.bio.sequences import (
+    DNA_ALPHABET,
+    PROTEIN_ALPHABET,
+    mutate,
+    random_sequence,
+    sequence_family,
+)
+from repro.errors import AlignmentError, ParameterError
+
+
+class TestSequences:
+    def test_random_sequence_alphabet(self):
+        s = random_sequence(100, DNA_ALPHABET, seed=1)
+        assert len(s) == 100
+        assert set(s) <= set(DNA_ALPHABET)
+
+    def test_protein_alphabet(self):
+        s = random_sequence(200, PROTEIN_ALPHABET, seed=2)
+        assert set(s) <= set(PROTEIN_ALPHABET)
+
+    def test_deterministic(self):
+        assert random_sequence(50, seed=3) == random_sequence(50, seed=3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            random_sequence(-1)
+        with pytest.raises(ParameterError):
+            random_sequence(5, "")
+
+    def test_mutate_zero_rate_identity(self):
+        s = random_sequence(60, seed=4)
+        assert mutate(s, 0.0, 0.0, seed=5) == s
+
+    def test_mutate_rate_roughly_respected(self):
+        s = random_sequence(2000, seed=6)
+        m = mutate(s, 0.2, 0.0, seed=7)
+        diff = sum(1 for a, b in zip(s, m) if a != b) / len(s)
+        assert 0.15 < diff < 0.25
+
+    def test_mutate_invalid_rate(self):
+        with pytest.raises(ParameterError):
+            mutate("ACGT", 1.5)
+
+    def test_family(self):
+        anc, fam = sequence_family(50, 4, 0.1, 0.02, seed=8)
+        assert len(fam) == 4
+        assert len(anc) == 50
+        assert all(abs(len(f) - 50) < 15 for f in fam)
+
+    def test_family_needs_members(self):
+        with pytest.raises(ParameterError):
+            sequence_family(50, 0)
+
+
+class TestDistanceMatrix:
+    def test_shape_and_symmetry(self):
+        seqs = ["ACGT", "ACGA", "TTTT"]
+        d = distance_matrix(seqs)
+        assert d.shape == (3, 3)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_identical_sequences_distance_zero(self):
+        d = distance_matrix(["ACGT", "ACGT"])
+        assert d[0, 1] == 0.0
+
+    def test_related_closer_than_unrelated(self):
+        anc, fam = sequence_family(60, 2, 0.05, 0.0, seed=9)
+        stranger = random_sequence(60, seed=999)
+        d = distance_matrix([fam[0], fam[1], stranger])
+        assert d[0, 1] < d[0, 2]
+        assert d[0, 1] < d[1, 2]
+
+    def test_parallel_matches_serial(self):
+        seqs = [random_sequence(30, seed=s) for s in range(5)]
+        assert np.allclose(
+            distance_matrix(seqs, n_workers=1),
+            distance_matrix(seqs, n_workers=2),
+        )
+
+
+class TestNeighborJoining:
+    def test_two_leaves(self):
+        tree = neighbor_joining(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert sorted(tree.leaves()) == [0, 1]
+
+    def test_single_leaf(self):
+        tree = neighbor_joining(np.zeros((1, 1)))
+        assert tree.leaves() == [0]
+
+    def test_covers_all_leaves(self):
+        rng = np.random.default_rng(10)
+        m = rng.random((6, 6))
+        d = (m + m.T) / 2
+        np.fill_diagonal(d, 0.0)
+        tree = neighbor_joining(d)
+        assert sorted(tree.leaves()) == list(range(6))
+
+    def test_joins_closest_pair_first(self):
+        # leaves 0,1 nearly identical; 2,3 far away
+        d = np.array(
+            [
+                [0.0, 0.1, 1.0, 1.0],
+                [0.1, 0.0, 1.0, 1.0],
+                [1.0, 1.0, 0.0, 0.1],
+                [1.0, 1.0, 0.1, 0.0],
+            ]
+        )
+        tree = neighbor_joining(d)
+        # the tree must keep {0,1} and {2,3} as sibling pairs
+        def sibling_sets(node, out):
+            if node.is_leaf:
+                return
+            if (node.left.is_leaf and node.right.is_leaf):
+                out.append({node.left.index, node.right.index})
+            sibling_sets(node.left, out)
+            sibling_sets(node.right, out)
+        pairs = []
+        sibling_sets(tree, pairs)
+        assert {0, 1} in pairs or {2, 3} in pairs
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(AlignmentError):
+            neighbor_joining(np.zeros((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(AlignmentError):
+            neighbor_joining(np.zeros((0, 0)))
+
+
+class TestProgressiveAlignment:
+    def test_empty_and_single(self):
+        assert progressive_alignment([]) == []
+        assert progressive_alignment(["ACGT"]) == ["ACGT"]
+
+    def test_rows_reproduce_inputs(self):
+        _, fam = sequence_family(40, 5, 0.1, 0.03, seed=11)
+        msa = progressive_alignment(fam)
+        assert len(msa) == 5
+        lengths = {len(r) for r in msa}
+        assert len(lengths) == 1
+        for row, seq in zip(msa, fam):
+            assert row.replace("-", "") == seq
+
+    def test_identical_sequences_align_perfectly(self):
+        msa = progressive_alignment(["ACGTACGT"] * 4)
+        assert msa == ["ACGTACGT"] * 4
+
+    def test_gapped_input_rejected(self):
+        with pytest.raises(AlignmentError):
+            progressive_alignment(["AC-T", "ACGT"])
+
+    def test_sp_score_better_than_random_shuffle(self):
+        """The guide tree must beat aligning in arbitrary padded form."""
+        _, fam = sequence_family(30, 4, 0.08, 0.02, seed=12)
+        msa = progressive_alignment(fam)
+        width = max(len(s) for s in fam)
+        naive = [s + "-" * (width - len(s)) for s in fam]
+        assert sum_of_pairs(msa) >= sum_of_pairs(naive)
+
+
+class TestSumOfPairs:
+    def test_empty(self):
+        assert sum_of_pairs([]) == 0.0
+
+    def test_two_identical_rows(self):
+        assert sum_of_pairs(["AC", "AC"]) == 2.0
+
+    def test_gap_residue_penalty(self):
+        assert sum_of_pairs(["A-", "AA"], gap_residue=-1.5) == -0.5
+
+    def test_gap_gap_column_free(self):
+        assert sum_of_pairs(["A-", "A-"]) == 1.0
+
+    def test_ragged_rejected(self):
+        with pytest.raises(AlignmentError):
+            sum_of_pairs(["AB", "A"])
+
+
+class TestPathwayAlignment:
+    def test_identical_pathways(self):
+        p = ["hxk", "pgi", "pfk"]
+        al = align_pathways(p, p)
+        assert al.score == 6.0
+        assert al.pairs == [(x, x) for x in p]
+
+    def test_gap_handling(self):
+        al = align_pathways(["a", "b", "c"], ["a", "c"])
+        assert None in al.aligned_b
+        assert al.aligned_a == ("a", "b", "c")
+
+    def test_custom_similarity(self):
+        sim = lambda a, b: 5.0 if a[0] == b[0] else -5.0
+        al = align_pathways(["abc"], ["axe"], similarity=sim)
+        assert al.score == 5.0
+
+    def test_positive_gap_rejected(self):
+        with pytest.raises(AlignmentError):
+            align_pathways(["a"], ["a"], gap=0.0)
+
+    def test_empty_pathways(self):
+        al = align_pathways([], [])
+        assert al.score == 0.0
+        assert len(al) == 0
+
+    def test_conserved_segments(self):
+        a = ["x", "m1", "m2", "m3", "y", "z"]
+        b = ["w", "m1", "m2", "m3", "q", "z"]
+        al = align_pathways(a, b)
+        segs = conserved_segments(al, min_length=2)
+        assert [("m1", "m1"), ("m2", "m2"), ("m3", "m3")] in segs
+
+    def test_conserved_requires_identity_by_default(self):
+        al = align_pathways(["a", "b"], ["a", "c"])
+        assert conserved_segments(al, min_length=2) == []
+        loose = conserved_segments(
+            al, min_length=2, require_identity=False
+        )
+        assert len(loose) == 1

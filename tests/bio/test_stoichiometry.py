@@ -1,0 +1,99 @@
+"""Tests for metabolic network models."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.bio.stoichiometry import MetabolicNetwork, Reaction, example_network
+from repro.errors import ParameterError
+
+
+class TestReaction:
+    def test_basic(self):
+        r = Reaction("v", {"A": -1, "B": 2})
+        assert r.stoich["B"] == Fraction(2)
+
+    def test_zero_coefficients_dropped(self):
+        r = Reaction("v", {"A": -1, "B": 0, "C": 1})
+        assert "B" not in r.stoich
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            Reaction("v", {})
+        with pytest.raises(ParameterError):
+            Reaction("v", {"A": 0})
+
+    def test_fraction_coefficients(self):
+        r = Reaction("v", {"A": Fraction(1, 2)})
+        assert r.stoich["A"] == Fraction(1, 2)
+
+
+class TestNetwork:
+    def test_example_shape(self):
+        net = example_network()
+        assert net.n_reactions == 6
+        assert set(net.internal_metabolites()) == {"A", "B", "C"}
+
+    def test_duplicate_names_rejected(self):
+        r = Reaction("v", {"A": -1, "B": 1})
+        with pytest.raises(ParameterError):
+            MetabolicNetwork([r, r])
+
+    def test_unknown_external_rejected(self):
+        r = Reaction("v", {"A": -1, "B": 1})
+        with pytest.raises(ParameterError):
+            MetabolicNetwork([r], external={"Z"})
+
+    def test_matrix_shape_and_values(self):
+        net = example_network()
+        s = net.stoichiometric_matrix()
+        assert s.shape == (3, 6)
+        # metabolite A: produced by uptake, consumed by v1, v2
+        a_row = s[net.internal_metabolites().index("A")]
+        assert a_row.tolist() == [1, -1, -1, 0, 0, 0]
+
+    def test_full_matrix_includes_external(self):
+        net = example_network()
+        s = net.stoichiometric_matrix(internal_only=False)
+        assert s.shape == (net.n_metabolites, 6)
+
+    def test_exact_matrix_matches_float(self):
+        net = example_network()
+        exact = net.exact_matrix()
+        flt = net.stoichiometric_matrix()
+        for i, row in enumerate(exact):
+            for j, val in enumerate(row):
+                assert float(val) == flt[i, j]
+
+    def test_flux_is_steady(self):
+        net = example_network()
+        # uptake -> v1 -> drainB is a balanced route
+        assert net.flux_is_steady([1, 1, 0, 0, 1, 0])
+        assert not net.flux_is_steady([1, 0, 0, 0, 0, 0])
+
+    def test_flux_shape_checked(self):
+        net = example_network()
+        with pytest.raises(ParameterError):
+            net.flux_is_steady([1, 2])
+
+    def test_split_reversible(self):
+        net = MetabolicNetwork(
+            [
+                Reaction("r1", {"A": -1, "B": 1}, reversible=True),
+                Reaction("r2", {"B": -1, "C": 1}),
+            ],
+            external={"A", "C"},
+        )
+        split, origin = net.split_reversible()
+        assert split.n_reactions == 3
+        assert origin == [0, -1, 1]
+        names = [r.name for r in split.reactions]
+        assert names == ["r1_fwd", "r1_bwd", "r2"]
+        # backward half negates stoichiometry
+        assert split.reactions[1].stoich["A"] == Fraction(1)
+
+    def test_repr(self):
+        assert "6 reactions" in repr(example_network())

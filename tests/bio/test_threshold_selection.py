@@ -1,0 +1,85 @@
+"""Tests for maximum-clique-guided threshold selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bio.correlation import spearman_correlation
+from repro.bio.expression import ModuleSpec, synthetic_expression
+from repro.bio.threshold_selection import (
+    SweepPoint,
+    select_threshold,
+    threshold_sweep,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def corr():
+    ds = synthetic_expression(
+        100, 50, [ModuleSpec(10, 0.95), ModuleSpec(7, 0.93)], seed=21
+    )
+    return spearman_correlation(ds.matrix)
+
+
+class TestSweep:
+    def test_descending_thresholds(self, corr):
+        pts = threshold_sweep(corr, [0.5, 0.9, 0.7])
+        assert [p.threshold for p in pts] == [0.9, 0.7, 0.5]
+
+    def test_monotone_edges(self, corr):
+        pts = threshold_sweep(corr)
+        edges = [p.n_edges for p in pts]
+        assert edges == sorted(edges)  # looser threshold, more edges
+
+    def test_monotone_clique_size(self, corr):
+        pts = threshold_sweep(corr)
+        cliques = [p.max_clique for p in pts]
+        assert cliques == sorted(cliques)
+
+    def test_module_visible_at_strict_threshold(self, corr):
+        pts = threshold_sweep(corr, [0.85])
+        # the planted 10-module should already form a large clique
+        assert pts[0].max_clique >= 8
+
+    def test_empty_thresholds_rejected(self, corr):
+        with pytest.raises(ParameterError):
+            threshold_sweep(corr, [])
+
+
+class TestSelect:
+    def _pt(self, t, mc):
+        return SweepPoint(
+            threshold=t, n_edges=0, density=0.0, max_clique=mc
+        )
+
+    def test_picks_before_inflection(self):
+        pts = [
+            self._pt(0.9, 9),
+            self._pt(0.8, 10),
+            self._pt(0.7, 10),
+            self._pt(0.6, 40),  # noise explosion
+        ]
+        chosen = select_threshold(pts)
+        assert chosen.threshold == 0.7
+
+    def test_no_inflection_returns_loosest(self):
+        pts = [self._pt(0.9, 5), self._pt(0.8, 6), self._pt(0.7, 7)]
+        assert select_threshold(pts).threshold == 0.7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            select_threshold([])
+
+    def test_factor_validated(self):
+        with pytest.raises(ParameterError):
+            select_threshold([self._pt(0.9, 3)], inflection_factor=1.0)
+
+    def test_on_real_sweep(self, corr):
+        pts = threshold_sweep(corr, [0.9, 0.8, 0.7, 0.6, 0.5, 0.4])
+        chosen = select_threshold(pts)
+        # the chosen threshold keeps the planted module's clique size
+        # (~10) rather than the noise blow-up
+        assert chosen.max_clique <= 25
+        assert chosen.threshold >= 0.4

@@ -1,0 +1,317 @@
+"""Unit and property tests for repro.core.bitset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitset as bs
+from repro.core.bitset import WORD_BITS, BitSet
+from repro.errors import BitSetError
+
+# ---------------------------------------------------------------------------
+# construction
+# ---------------------------------------------------------------------------
+
+
+class TestConstruction:
+    def test_zeros_is_empty(self):
+        s = BitSet.zeros(100)
+        assert not s.any()
+        assert s.count() == 0
+
+    def test_ones_is_full(self):
+        s = BitSet.ones(100)
+        assert s.count() == 100
+
+    def test_ones_respects_tail(self):
+        # 70 is not a multiple of 64: bits 70..127 must stay clear
+        s = BitSet.ones(70)
+        assert s.count() == 70
+        assert 69 in s
+        assert 70 not in s
+
+    def test_from_indices(self):
+        s = BitSet.from_indices(10, [0, 5, 9])
+        assert sorted(s) == [0, 5, 9]
+
+    def test_from_indices_empty(self):
+        s = BitSet.from_indices(10, [])
+        assert s.count() == 0
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(BitSetError):
+            BitSet.from_indices(10, [10])
+        with pytest.raises(BitSetError):
+            BitSet.from_indices(10, [-1])
+
+    def test_negative_universe_rejected(self):
+        with pytest.raises(BitSetError):
+            BitSet(-1)
+
+    def test_zero_universe(self):
+        s = BitSet.zeros(0)
+        assert s.count() == 0
+        assert not s.any()
+        assert list(s) == []
+
+    def test_bad_words_shape_rejected(self):
+        with pytest.raises(BitSetError):
+            BitSet(100, np.zeros(1, dtype=np.uint64))
+
+    def test_bad_words_dtype_rejected(self):
+        with pytest.raises(BitSetError):
+            BitSet(64, np.zeros(1, dtype=np.int64))
+
+    def test_copy_is_independent(self):
+        s = BitSet.from_indices(10, [1])
+        t = s.copy()
+        t.add(2)
+        assert 2 not in s
+
+
+# ---------------------------------------------------------------------------
+# element access
+# ---------------------------------------------------------------------------
+
+
+class TestElements:
+    def test_add_and_contains(self):
+        s = BitSet.zeros(130)
+        s.add(128)
+        assert 128 in s
+        assert 127 not in s
+
+    def test_discard(self):
+        s = BitSet.from_indices(10, [3])
+        s.discard(3)
+        assert 3 not in s
+
+    def test_discard_absent_is_noop(self):
+        s = BitSet.zeros(10)
+        s.discard(3)
+        assert s.count() == 0
+
+    def test_add_out_of_range(self):
+        s = BitSet.zeros(10)
+        with pytest.raises(BitSetError):
+            s.add(10)
+
+    def test_contains_out_of_range_is_false(self):
+        s = BitSet.ones(10)
+        assert 10 not in s
+        assert -1 not in s
+
+    def test_min_max(self):
+        s = BitSet.from_indices(200, [5, 77, 199])
+        assert s.min() == 5
+        assert s.max() == 199
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(BitSetError):
+            BitSet.zeros(10).min()
+
+    def test_max_of_empty_raises(self):
+        with pytest.raises(BitSetError):
+            BitSet.zeros(10).max()
+
+    def test_iteration_ascending(self):
+        s = BitSet.from_indices(300, [250, 3, 64, 65])
+        assert list(s) == [3, 64, 65, 250]
+
+
+# ---------------------------------------------------------------------------
+# algebra
+# ---------------------------------------------------------------------------
+
+
+class TestAlgebra:
+    def test_and(self):
+        a = BitSet.from_indices(10, [1, 2, 3])
+        b = BitSet.from_indices(10, [2, 3, 4])
+        assert sorted(a & b) == [2, 3]
+
+    def test_or(self):
+        a = BitSet.from_indices(10, [1])
+        b = BitSet.from_indices(10, [2])
+        assert sorted(a | b) == [1, 2]
+
+    def test_xor(self):
+        a = BitSet.from_indices(10, [1, 2])
+        b = BitSet.from_indices(10, [2, 3])
+        assert sorted(a ^ b) == [1, 3]
+
+    def test_sub(self):
+        a = BitSet.from_indices(10, [1, 2])
+        b = BitSet.from_indices(10, [2])
+        assert sorted(a - b) == [1]
+
+    def test_inplace_ops_return_self(self):
+        a = BitSet.from_indices(10, [1, 2])
+        b = BitSet.from_indices(10, [2])
+        r = a.__iand__(b)
+        assert r is a
+        assert sorted(a) == [2]
+
+    def test_complement(self):
+        a = BitSet.from_indices(5, [0, 2])
+        assert sorted(a.complement()) == [1, 3, 4]
+
+    def test_complement_tail_clean(self):
+        a = BitSet.zeros(70)
+        c = a.complement()
+        assert c.count() == 70
+
+    def test_universe_mismatch_raises(self):
+        with pytest.raises(BitSetError):
+            BitSet.zeros(10) & BitSet.zeros(11)
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(TypeError):
+            BitSet.zeros(10) & {1, 2}
+
+    def test_isdisjoint(self):
+        a = BitSet.from_indices(10, [1])
+        b = BitSet.from_indices(10, [2])
+        assert a.isdisjoint(b)
+        b.add(1)
+        assert not a.isdisjoint(b)
+
+    def test_issubset_issuperset(self):
+        a = BitSet.from_indices(10, [1, 2])
+        b = BitSet.from_indices(10, [1, 2, 3])
+        assert a.issubset(b)
+        assert b.issuperset(a)
+        assert not b.issubset(a)
+
+    def test_intersection_count(self):
+        a = BitSet.from_indices(100, range(0, 60))
+        b = BitSet.from_indices(100, range(50, 100))
+        assert a.intersection_count(b) == 10
+
+    def test_equality_and_hash(self):
+        a = BitSet.from_indices(10, [1, 2])
+        b = BitSet.from_indices(10, [2, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != BitSet.from_indices(10, [1])
+        assert a != BitSet.from_indices(11, [1, 2])
+
+    def test_repr_contains_members(self):
+        assert "3" in repr(BitSet.from_indices(10, [3]))
+
+    def test_bool_is_any(self):
+        assert not BitSet.zeros(10)
+        assert BitSet.from_indices(10, [0])
+
+    def test_nbytes(self):
+        assert BitSet.zeros(64).nbytes() == 8
+        assert BitSet.zeros(65).nbytes() == 16
+
+
+# ---------------------------------------------------------------------------
+# word-level helpers
+# ---------------------------------------------------------------------------
+
+
+class TestWordHelpers:
+    def test_n_words(self):
+        assert bs.n_words(0) == 0
+        assert bs.n_words(1) == 1
+        assert bs.n_words(64) == 1
+        assert bs.n_words(65) == 2
+
+    def test_n_words_negative(self):
+        with pytest.raises(BitSetError):
+            bs.n_words(-1)
+
+    def test_tail_mask_full_word(self):
+        assert bs.tail_mask(64) == np.uint64(0xFFFFFFFFFFFFFFFF)
+
+    def test_tail_mask_partial(self):
+        assert bs.tail_mask(3) == np.uint64(0b111)
+
+    def test_words_andnot(self):
+        a = bs.indices_to_words([1, 2], 10)
+        b = bs.indices_to_words([2, 3], 10)
+        out = np.zeros_like(a)
+        bs.words_andnot(a, b, out)
+        assert bs.words_to_indices(out, 10).tolist() == [1]
+
+    def test_words_count(self):
+        w = bs.indices_to_words([0, 63, 64, 127], 128)
+        assert bs.words_count(w) == 4
+
+    def test_words_any(self):
+        assert not bs.words_any(np.zeros(2, dtype=np.uint64))
+        assert bs.words_any(bs.indices_to_words([100], 128))
+
+
+# ---------------------------------------------------------------------------
+# property-based laws
+# ---------------------------------------------------------------------------
+
+universe = st.integers(min_value=1, max_value=200)
+
+
+@st.composite
+def bitset_pair(draw):
+    n = draw(universe)
+    idx = st.lists(
+        st.integers(min_value=0, max_value=n - 1), max_size=n
+    )
+    a = BitSet.from_indices(n, draw(idx))
+    b = BitSet.from_indices(n, draw(idx))
+    return a, b
+
+
+@settings(max_examples=50, deadline=None)
+@given(bitset_pair())
+def test_matches_python_sets(pair):
+    """Every operation agrees with Python's set semantics."""
+    a, b = pair
+    sa, sb = set(a), set(b)
+    assert set(a & b) == sa & sb
+    assert set(a | b) == sa | sb
+    assert set(a ^ b) == sa ^ sb
+    assert set(a - b) == sa - sb
+    assert a.isdisjoint(b) == sa.isdisjoint(sb)
+    assert a.issubset(b) == (sa <= sb)
+    assert (a & b).count() == a.intersection_count(b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(bitset_pair())
+def test_de_morgan(pair):
+    a, b = pair
+    assert (a & b).complement() == a.complement() | b.complement()
+    assert (a | b).complement() == a.complement() & b.complement()
+
+
+@settings(max_examples=50, deadline=None)
+@given(bitset_pair())
+def test_involution_and_absorption(pair):
+    a, b = pair
+    assert a.complement().complement() == a
+    assert (a & (a | b)) == a
+    assert (a | (a & b)) == a
+
+
+@settings(max_examples=50, deadline=None)
+@given(bitset_pair())
+def test_count_inclusion_exclusion(pair):
+    a, b = pair
+    assert (a | b).count() == a.count() + b.count() - (a & b).count()
+
+
+@settings(max_examples=30, deadline=None)
+@given(universe, st.data())
+def test_roundtrip_indices(n, data):
+    idx = data.draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), unique=True)
+    )
+    s = BitSet.from_indices(n, idx)
+    assert s.to_indices().tolist() == sorted(idx)
+    assert s.count() == len(idx)

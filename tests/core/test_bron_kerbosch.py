@@ -1,0 +1,114 @@
+"""Tests for the Bron–Kerbosch baselines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bron_kerbosch import (
+    bron_kerbosch_base,
+    bron_kerbosch_degeneracy,
+    bron_kerbosch_pivot,
+)
+from repro.core.counters import OpCounters
+from repro.core.generators import (
+    complete_graph,
+    erdos_renyi,
+    overlapping_cliques,
+    path_graph,
+)
+from repro.core.graph import Graph
+from tests.conftest import nx_maximal_cliques
+
+ALL_VARIANTS = [
+    bron_kerbosch_base,
+    bron_kerbosch_pivot,
+    bron_kerbosch_degeneracy,
+]
+
+
+@pytest.mark.parametrize("algo", ALL_VARIANTS)
+class TestAllVariants:
+    def test_empty_graph(self, algo):
+        assert list(algo(Graph(0))) == []
+
+    def test_single_vertex(self, algo):
+        assert list(algo(Graph(1))) == [(0,)]
+
+    def test_edgeless(self, algo):
+        assert sorted(algo(Graph(3))) == [(0,), (1,), (2,)]
+
+    def test_single_edge(self, algo):
+        g = Graph.from_edges(2, [(0, 1)])
+        assert sorted(algo(g)) == [(0, 1)]
+
+    def test_triangle(self, algo, triangle):
+        assert sorted(algo(triangle)) == [(0, 1, 2)]
+
+    def test_path(self, algo):
+        assert sorted(algo(path_graph(4))) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_complete(self, algo):
+        assert list(algo(complete_graph(7))) == [tuple(range(7))]
+
+    def test_barbell(self, algo, barbell4):
+        got = sorted(algo(barbell4))
+        assert (0, 1, 2, 3) in got
+        assert (4, 5, 6, 7) in got
+        assert (3, 4) in got
+        assert len(got) == 3
+
+    def test_matches_networkx(self, algo, seeded_er):
+        assert sorted(algo(seeded_er)) == nx_maximal_cliques(seeded_er)
+
+    def test_no_duplicates(self, algo, random_graph):
+        out = list(algo(random_graph))
+        assert len(out) == len(set(out))
+
+    def test_all_outputs_maximal(self, algo, random_graph):
+        g = random_graph
+        for c in algo(g):
+            assert g.is_clique(c)
+            cn = g.common_neighbors(c)
+            assert not cn.any(), f"{c} extendable by {sorted(cn)}"
+
+    def test_counters_populated(self, algo, triangle):
+        c = OpCounters()
+        list(algo(triangle, counters=c))
+        assert c.maximal_emitted == 1
+
+
+class TestVariantSpecific:
+    def test_pivot_explores_fewer_nodes_on_overlaps(self):
+        """Improved BK's advantage on heavily overlapping cliques."""
+        g, _ = overlapping_cliques(60, [10, 10, 10, 10], 5, seed=1)
+        c_base, c_piv = OpCounters(), OpCounters()
+        base = sorted(bron_kerbosch_base(g, counters=c_base))
+        piv = sorted(bron_kerbosch_pivot(g, counters=c_piv))
+        assert base == piv
+        assert c_piv.bit_and_ops < c_base.bit_and_ops * 2  # sanity
+        # the pivot variant emits from strictly fewer recursion branches:
+        # measured via maximality checks (2 per call)
+        assert c_piv.bit_exist_checks <= c_base.bit_exist_checks
+
+    def test_base_emits_in_index_extension_order(self):
+        # Base BK extends in CANDIDATES presentation order; the first
+        # emitted clique is the lexicographically-first maximal clique.
+        g = Graph.from_edges(5, [(0, 1), (0, 2), (1, 2), (3, 4)])
+        first = next(iter(bron_kerbosch_base(g)))
+        assert first == (0, 1, 2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=999),
+)
+def test_variants_agree_property(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    ref = nx_maximal_cliques(g)
+    assert sorted(bron_kerbosch_base(g)) == ref
+    assert sorted(bron_kerbosch_pivot(g)) == ref
+    assert sorted(bron_kerbosch_degeneracy(g)) == ref

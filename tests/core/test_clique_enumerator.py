@@ -1,0 +1,291 @@
+"""Tests for the Clique Enumerator — the paper's core algorithm."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clique_enumerator import (
+    build_sublists_from_k_cliques,
+    enumerate_maximal_cliques,
+)
+from repro.core.counters import OpCounters
+from repro.core.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    overlapping_cliques,
+    path_graph,
+    planted_clique,
+    star_graph,
+)
+from repro.core.graph import Graph
+from repro.core.memory_model import check_paper_recurrences
+from repro.errors import BudgetExceeded, ParameterError
+from tests.conftest import nx_maximal_cliques
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        res = enumerate_maximal_cliques(Graph(0))
+        assert res.cliques == []
+        assert res.completed
+
+    def test_isolated_vertices_at_kmin_1(self):
+        res = enumerate_maximal_cliques(Graph(3), k_min=1)
+        assert sorted(res.cliques) == [(0,), (1,), (2,)]
+
+    def test_isolated_vertices_excluded_at_kmin_2(self):
+        res = enumerate_maximal_cliques(Graph(3), k_min=2)
+        assert res.cliques == []
+
+    def test_single_edge(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        assert enumerate_maximal_cliques(g).cliques == [(0, 1)]
+
+    def test_triangle(self, triangle):
+        assert enumerate_maximal_cliques(triangle).cliques == [(0, 1, 2)]
+
+    def test_path(self):
+        res = enumerate_maximal_cliques(path_graph(5))
+        assert sorted(res.cliques) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_star(self, star7):
+        res = enumerate_maximal_cliques(star7)
+        assert sorted(res.cliques) == [(0, i) for i in range(1, 7)]
+
+    def test_cycle(self, c6):
+        res = enumerate_maximal_cliques(c6)
+        assert len(res.cliques) == 6
+        assert all(len(c) == 2 for c in res.cliques)
+
+    def test_complete(self):
+        res = enumerate_maximal_cliques(complete_graph(8))
+        assert res.cliques == [tuple(range(8))]
+
+    def test_barbell(self, barbell4):
+        res = enumerate_maximal_cliques(barbell4)
+        assert sorted(res.cliques) == [(0, 1, 2, 3), (3, 4), (4, 5, 6, 7)]
+
+    def test_invalid_kmin(self, triangle):
+        with pytest.raises(ParameterError):
+            enumerate_maximal_cliques(triangle, k_min=0)
+
+    def test_invalid_range(self, triangle):
+        with pytest.raises(ParameterError):
+            enumerate_maximal_cliques(triangle, k_min=5, k_max=4)
+
+
+class TestCorrectness:
+    def test_matches_networkx(self, seeded_er):
+        res = enumerate_maximal_cliques(seeded_er, k_min=1)
+        assert sorted(res.cliques) == nx_maximal_cliques(seeded_er)
+
+    def test_no_duplicates(self, random_graph):
+        res = enumerate_maximal_cliques(random_graph)
+        assert len(res.cliques) == len(set(res.cliques))
+
+    def test_all_maximal(self, random_graph):
+        g = random_graph
+        for c in enumerate_maximal_cliques(g).cliques:
+            assert g.is_clique(c)
+            assert not g.common_neighbors(c).any()
+
+    def test_planted_clique_found(self):
+        g, members = planted_clique(60, 9, 0.1, seed=2)
+        res = enumerate_maximal_cliques(g)
+        assert tuple(members) in set(res.cliques)
+
+    def test_overlapping_cliques_found(self):
+        g, cliques = overlapping_cliques(50, [8, 8, 8], 4, seed=3)
+        got = set(enumerate_maximal_cliques(g).cliques)
+        for c in cliques:
+            assert tuple(c) in got
+
+
+class TestNonDecreasingOrder:
+    """The paper's headline property: emission in non-decreasing size."""
+
+    def test_order_on_random(self, seeded_er):
+        res = enumerate_maximal_cliques(seeded_er, k_min=1)
+        sizes = [len(c) for c in res.cliques]
+        assert sizes == sorted(sizes)
+
+    def test_order_with_callback(self, random_graph):
+        seen = []
+        enumerate_maximal_cliques(random_graph, on_clique=seen.append)
+        sizes = [len(c) for c in seen]
+        assert sizes == sorted(sizes)
+
+    def test_canonical_within_size(self, random_graph):
+        res = enumerate_maximal_cliques(random_graph)
+        for size, group in res.by_size().items():
+            assert group == sorted(group)
+
+
+class TestSizeRange:
+    def test_k_min_filters_small(self, barbell4):
+        res = enumerate_maximal_cliques(barbell4, k_min=3)
+        assert sorted(res.cliques) == [(0, 1, 2, 3), (4, 5, 6, 7)]
+
+    def test_k_max_stops_early(self):
+        g = complete_graph(8)
+        res = enumerate_maximal_cliques(g, k_min=2, k_max=5)
+        assert res.cliques == []  # the only maximal clique has size 8
+        assert not res.completed  # candidates remained
+
+    def test_k_max_reports_maximal_at_bound(self, barbell4):
+        res = enumerate_maximal_cliques(barbell4, k_min=2, k_max=4)
+        assert (0, 1, 2, 3) in res.cliques
+        assert res.completed
+
+    @pytest.mark.parametrize("k_min", [2, 3, 4, 5])
+    def test_init_k_seeding_matches_full_run(self, k_min, random_graph):
+        """Init_K seeding must agree with filtering a full run."""
+        full = enumerate_maximal_cliques(random_graph, k_min=1)
+        expected = sorted(c for c in full.cliques if len(c) >= k_min)
+        seeded = enumerate_maximal_cliques(random_graph, k_min=k_min)
+        assert sorted(seeded.cliques) == expected
+
+    def test_init_k_on_planted(self):
+        g, members = planted_clique(50, 10, 0.12, seed=8)
+        res = enumerate_maximal_cliques(g, k_min=8)
+        assert tuple(members) in set(res.cliques)
+        assert all(len(c) >= 8 for c in res.cliques)
+
+
+class TestLevelStats:
+    def test_stats_recorded(self, random_graph):
+        res = enumerate_maximal_cliques(random_graph)
+        assert res.level_stats
+        ks = [ls.k for ls in res.level_stats]
+        assert ks == sorted(ks)
+        assert ks[0] == 2
+
+    def test_paper_recurrences_hold(self, random_graph):
+        res = enumerate_maximal_cliques(random_graph)
+        issues = check_paper_recurrences(res.level_stats, random_graph.n)
+        assert issues == []
+
+    def test_memory_rises_then_falls(self):
+        g, _ = planted_clique(80, 12, 0.08, seed=5)
+        res = enumerate_maximal_cliques(g)
+        bytes_series = [ls.candidate_bytes for ls in res.level_stats]
+        peak = max(bytes_series)
+        peak_idx = bytes_series.index(peak)
+        # strictly decreasing after some point past the peak
+        assert bytes_series[-1] <= peak
+        assert peak_idx < len(bytes_series) - 1
+
+    def test_counts_match_emission(self, random_graph):
+        res = enumerate_maximal_cliques(random_graph, k_min=1)
+        emitted_by_stats = sum(
+            ls.maximal_emitted for ls in res.level_stats
+        )
+        # stats cover levels >= 2; add isolated vertices (none here)
+        isolated = sum(
+            1 for v in range(random_graph.n) if random_graph.degree(v) == 0
+        )
+        assert emitted_by_stats + isolated == len(res.cliques)
+
+    def test_peak_bytes_accessor(self, random_graph):
+        res = enumerate_maximal_cliques(random_graph)
+        assert res.peak_candidate_bytes() == max(
+            ls.candidate_bytes for ls in res.level_stats
+        )
+
+
+class TestBudgets:
+    def test_max_cliques_budget(self):
+        g = erdos_renyi(30, 0.5, seed=1)
+        with pytest.raises(BudgetExceeded) as exc:
+            enumerate_maximal_cliques(g, max_cliques=3)
+        assert exc.value.emitted == 3
+
+    def test_memory_budget(self):
+        g, _ = planted_clique(60, 12, 0.2, seed=1)
+        with pytest.raises(BudgetExceeded) as exc:
+            enumerate_maximal_cliques(g, max_candidate_bytes=100)
+        assert exc.value.level >= 2
+
+    def test_generous_budgets_pass(self, random_graph):
+        res = enumerate_maximal_cliques(
+            random_graph, max_cliques=10**9, max_candidate_bytes=10**12
+        )
+        assert res.completed
+
+
+class TestCallback:
+    def test_callback_suppresses_collection(self, random_graph):
+        seen = []
+        res = enumerate_maximal_cliques(
+            random_graph, on_clique=seen.append
+        )
+        assert res.cliques == []
+        assert sorted(seen) == sorted(
+            enumerate_maximal_cliques(random_graph).cliques
+        )
+
+
+class TestSeedSublists:
+    def test_from_k_cliques_requires_k2(self, triangle):
+        with pytest.raises(ParameterError):
+            build_sublists_from_k_cliques(triangle, 1, [], OpCounters())
+
+    def test_singleton_groups_dropped(self):
+        g = complete_graph(4)
+        # a single 3-clique forms a singleton sub-list -> dropped
+        subs = build_sublists_from_k_cliques(
+            g, 3, [(0, 1, 2)], OpCounters()
+        )
+        assert subs == []
+
+    def test_group_common_neighbors(self):
+        g = complete_graph(4)
+        subs = build_sublists_from_k_cliques(
+            g, 3, [(0, 1, 2), (0, 1, 3)], OpCounters()
+        )
+        assert len(subs) == 1
+        sl = subs[0]
+        assert sl.prefix == (0, 1)
+        assert sl.tails.tolist() == [2, 3]
+        assert sorted(
+            __import__("repro.core.bitset", fromlist=["words_to_indices"])
+            .words_to_indices(sl.cn_words, 4)
+            .tolist()
+        ) == [2, 3]
+
+
+# ---------------------------------------------------------------------------
+# the definitive cross-validation property
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=18),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=2000),
+)
+def test_matches_networkx_property(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    res = enumerate_maximal_cliques(g, k_min=1)
+    assert sorted(res.cliques) == nx_maximal_cliques(g)
+    sizes = [len(c) for c in res.cliques]
+    assert sizes == sorted(sizes)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=16),
+    st.floats(min_value=0.2, max_value=0.8),
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=3, max_value=5),
+)
+def test_init_k_seeding_property(n, p, seed, k_min):
+    g = erdos_renyi(n, p, seed=seed)
+    full = enumerate_maximal_cliques(g, k_min=1)
+    expected = sorted(c for c in full.cliques if len(c) >= k_min)
+    seeded = enumerate_maximal_cliques(g, k_min=k_min)
+    assert sorted(seeded.cliques) == expected

@@ -1,0 +1,168 @@
+"""Unit and property tests for the WAH compressed bitmap."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitset import BitSet
+from repro.core.compressed import GROUP_BITS, WahBitmap
+from repro.errors import BitSetError
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        w = WahBitmap.zeros(100)
+        assert w.to_bitset() == BitSet.zeros(100)
+        assert not w.any()
+        assert w.count() == 0
+
+    def test_zero_universe(self):
+        w = WahBitmap.zeros(0)
+        assert w.count() == 0
+        assert w.to_bitset().n == 0
+
+    def test_single_bit(self):
+        w = WahBitmap.from_indices(100, [42])
+        assert sorted(w.to_bitset()) == [42]
+        assert w.count() == 1
+        assert w.any()
+
+    def test_full(self):
+        full = BitSet.ones(100)
+        w = WahBitmap.from_bitset(full)
+        assert w.to_bitset() == full
+        assert w.count() == 100
+
+    def test_group_boundary_sizes(self):
+        for n in (GROUP_BITS - 1, GROUP_BITS, GROUP_BITS + 1,
+                  2 * GROUP_BITS, 2 * GROUP_BITS + 5):
+            s = BitSet.from_indices(n, [0, n - 1])
+            w = WahBitmap.from_bitset(s)
+            assert w.to_bitset() == s, f"n={n}"
+
+
+class TestCompression:
+    def test_sparse_compresses(self):
+        # one set bit in a large universe: long zero fills dominate
+        w = WahBitmap.from_indices(31 * 1000, [5])
+        assert w.compressed_words() <= 4
+        assert w.compression_ratio() > 100
+
+    def test_dense_compresses(self):
+        w = WahBitmap.from_bitset(BitSet.ones(31 * 1000))
+        assert w.compressed_words() <= 2
+
+    def test_alternating_does_not_blow_up(self):
+        n = 31 * 40
+        s = BitSet.from_indices(n, range(0, n, 2))
+        w = WahBitmap.from_bitset(s)
+        # incompressible pattern: at most one word per group
+        assert w.compressed_words() <= 40
+
+    def test_canonical_equal_bitmaps_equal_words(self):
+        a = WahBitmap.from_indices(500, [3, 77, 400])
+        b = WahBitmap.from_indices(500, [400, 3, 77])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_ratio_of_empty_universe(self):
+        assert WahBitmap.zeros(0).compression_ratio() == 1.0
+
+
+class TestCompressedOps:
+    def test_and(self):
+        a = WahBitmap.from_indices(200, [1, 50, 100, 150])
+        b = WahBitmap.from_indices(200, [50, 150, 199])
+        assert sorted((a & b).to_bitset()) == [50, 150]
+
+    def test_or(self):
+        a = WahBitmap.from_indices(200, [1])
+        b = WahBitmap.from_indices(200, [199])
+        assert sorted((a | b).to_bitset()) == [1, 199]
+
+    def test_xor(self):
+        a = WahBitmap.from_indices(200, [1, 2])
+        b = WahBitmap.from_indices(200, [2, 3])
+        assert sorted((a ^ b).to_bitset()) == [1, 3]
+
+    def test_andnot(self):
+        a = WahBitmap.from_indices(200, [1, 2])
+        b = WahBitmap.from_indices(200, [2])
+        assert sorted(a.andnot(b).to_bitset()) == [1]
+
+    def test_universe_mismatch(self):
+        with pytest.raises(BitSetError):
+            WahBitmap.zeros(10) & WahBitmap.zeros(11)
+
+    def test_type_mismatch(self):
+        with pytest.raises(TypeError):
+            WahBitmap.zeros(10) & BitSet.zeros(10)
+
+    def test_long_fill_bulk_path(self):
+        # both operands mid-fill for thousands of groups exercises the
+        # bulk-skip branch
+        n = 31 * 5000
+        a = WahBitmap.from_indices(n, [0, n - 1])
+        b = WahBitmap.from_indices(n, [0, 17])
+        assert sorted((a & b).to_bitset()) == [0]
+        assert sorted((a | b).to_bitset()) == [0, 17, n - 1]
+
+    def test_repr(self):
+        assert "count=2" in repr(WahBitmap.from_indices(64, [1, 2]))
+
+
+# ---------------------------------------------------------------------------
+# properties: WAH must be a faithful, canonical codec
+# ---------------------------------------------------------------------------
+
+@st.composite
+def bitset_and_indices(draw):
+    n = draw(st.integers(min_value=1, max_value=400))
+    idx = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), unique=True)
+    )
+    return n, idx
+
+
+@settings(max_examples=40, deadline=None)
+@given(bitset_and_indices())
+def test_roundtrip_property(t):
+    n, idx = t
+    s = BitSet.from_indices(n, idx)
+    assert WahBitmap.from_bitset(s).to_bitset() == s
+
+
+@settings(max_examples=40, deadline=None)
+@given(bitset_and_indices())
+def test_count_matches_uncompressed(t):
+    n, idx = t
+    s = BitSet.from_indices(n, idx)
+    assert WahBitmap.from_bitset(s).count() == s.count()
+
+
+@settings(max_examples=30, deadline=None)
+@given(bitset_and_indices(), st.data())
+def test_compressed_ops_match_bitset_ops(t, data):
+    n, idx_a = t
+    idx_b = data.draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), unique=True)
+    )
+    sa, sb = BitSet.from_indices(n, idx_a), BitSet.from_indices(n, idx_b)
+    wa, wb = WahBitmap.from_bitset(sa), WahBitmap.from_bitset(sb)
+    assert (wa & wb).to_bitset() == (sa & sb)
+    assert (wa | wb).to_bitset() == (sa | sb)
+    assert (wa ^ wb).to_bitset() == (sa ^ sb)
+    assert wa.andnot(wb).to_bitset() == (sa - sb)
+
+
+@settings(max_examples=30, deadline=None)
+@given(bitset_and_indices())
+def test_compressed_ops_are_canonical(t):
+    """Results of compressed ops encode identically to a fresh encode."""
+    n, idx = t
+    s = BitSet.from_indices(n, idx)
+    w = WahBitmap.from_bitset(s)
+    rebuilt = w | WahBitmap.zeros(n)
+    assert rebuilt == w

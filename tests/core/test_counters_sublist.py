@@ -1,0 +1,81 @@
+"""Tests for OpCounters and CliqueSubList."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.counters import OpCounters
+from repro.core.sublist import CliqueSubList
+
+
+class TestCounters:
+    def test_defaults_zero(self):
+        c = OpCounters()
+        assert c.total_work() == 0
+        assert c.snapshot()["pair_checks"] == 0
+
+    def test_merge(self):
+        a = OpCounters(bit_and_ops=2, pair_checks=3, levels=4)
+        b = OpCounters(bit_and_ops=1, pair_checks=5, levels=2)
+        b.extra["subset_probes"] = 7
+        a.merge(b)
+        assert a.bit_and_ops == 3
+        assert a.pair_checks == 8
+        assert a.levels == 4  # max, not sum
+        assert a.extra["subset_probes"] == 7
+
+    def test_total_work_weights(self):
+        c = OpCounters(
+            bit_and_ops=1, bit_exist_checks=1, pair_checks=1,
+            cliques_generated=1,
+        )
+        assert c.total_work() == 1 + 4 + 2 + 1
+
+    def test_reset(self):
+        c = OpCounters(bit_and_ops=5)
+        c.extra["x"] = 1
+        c.reset()
+        assert c.bit_and_ops == 0
+        assert c.extra == {}
+
+    def test_snapshot_includes_extra(self):
+        c = OpCounters()
+        c.extra["subset_probes"] = 9
+        assert c.snapshot()["subset_probes"] == 9
+
+
+class TestSubList:
+    def _make(self, prefix=(0, 1), tails=(2, 5, 9), n=16):
+        from repro.core import bitset as bs
+
+        return CliqueSubList(
+            prefix=prefix,
+            tails=np.asarray(tails, dtype=np.int64),
+            cn_words=bs.indices_to_words(tails, n),
+        )
+
+    def test_k(self):
+        assert self._make().k == 3
+
+    def test_len(self):
+        assert len(self._make()) == 3
+
+    def test_cliques_materialised(self):
+        sl = self._make()
+        assert sl.cliques() == [(0, 1, 2), (0, 1, 5), (0, 1, 9)]
+
+    def test_nbytes_accounting(self):
+        sl = self._make()
+        expected = 3 * 8 + 2 * 8 + sl.cn_words.nbytes + 8
+        assert sl.nbytes() == expected
+
+    def test_work_estimate_scales_quadratically(self):
+        small = self._make(tails=(2, 3))
+        big = self._make(tails=tuple(range(2, 12)))
+        assert big.work_estimate() > small.work_estimate()
+        assert big.work_estimate() >= 10 * 9 // 2
+
+    def test_repr_truncates(self):
+        sl = self._make(tails=tuple(range(2, 14)))
+        assert "..." in repr(sl)

@@ -1,0 +1,102 @@
+"""Tests for iterative paraclique decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decomposition import paraclique_decomposition
+from repro.core.generators import (
+    complete_graph,
+    erdos_renyi,
+    planted_partition,
+)
+from repro.core.graph import Graph
+from repro.errors import ParameterError
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        d = paraclique_decomposition(Graph(0))
+        assert d.modules == []
+        assert d.residual_vertices == []
+
+    def test_edgeless_graph(self):
+        d = paraclique_decomposition(Graph(4))
+        assert d.modules == []
+        assert d.residual_vertices == [0, 1, 2, 3]
+
+    def test_single_clique(self):
+        d = paraclique_decomposition(complete_graph(5))
+        assert len(d.modules) == 1
+        assert d.modules[0].vertices == (0, 1, 2, 3, 4)
+        assert d.modules[0].density == 1.0
+        assert d.residual_vertices == []
+
+    def test_invalid_params(self, k5):
+        with pytest.raises(ParameterError):
+            paraclique_decomposition(k5, min_size=1)
+        with pytest.raises(ParameterError):
+            paraclique_decomposition(k5, glom=-1)
+
+    def test_input_not_mutated(self, k5):
+        before = k5.copy()
+        paraclique_decomposition(k5)
+        assert k5 == before
+
+
+class TestPlanted:
+    def test_recovers_planted_blocks(self):
+        g, blocks = planted_partition(
+            80, [10, 8, 6], p_in=1.0, p_out=0.0, seed=5
+        )
+        d = paraclique_decomposition(g, min_size=4, glom=0)
+        assert len(d.modules) == 3
+        got = sorted(tuple(sorted(m.vertices)) for m in d.modules)
+        expected = sorted(tuple(b) for b in blocks)
+        assert got == expected
+
+    def test_modules_disjoint(self):
+        g, _ = planted_partition(
+            70, [9, 8, 7], p_in=0.95, p_out=0.03, seed=8
+        )
+        d = paraclique_decomposition(g, min_size=4)
+        seen: set[int] = set()
+        for m in d.modules:
+            assert not (set(m.vertices) & seen)
+            seen |= set(m.vertices)
+
+    def test_residual_plus_modules_cover_graph(self):
+        g, _ = planted_partition(
+            60, [8, 7], p_in=0.95, p_out=0.02, seed=9
+        )
+        d = paraclique_decomposition(g, min_size=4)
+        everything = d.covered() | set(d.residual_vertices)
+        assert everything == set(range(60))
+
+    def test_extraction_order_by_seed_size(self):
+        g, _ = planted_partition(
+            70, [10, 7, 5], p_in=1.0, p_out=0.0, seed=2
+        )
+        d = paraclique_decomposition(g, min_size=3, glom=0)
+        sizes = [m.seed_clique_size for m in d.modules]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_max_modules_cap(self):
+        g, _ = planted_partition(
+            70, [8, 8, 8], p_in=1.0, p_out=0.0, seed=3
+        )
+        d = paraclique_decomposition(g, max_modules=2, glom=0)
+        assert len(d.modules) == 2
+
+    def test_min_size_respected(self):
+        g = erdos_renyi(40, 0.15, seed=4)
+        d = paraclique_decomposition(g, min_size=5)
+        for m in d.modules:
+            assert m.seed_clique_size >= 5
+
+    def test_coverage_metric(self):
+        g, _ = planted_partition(
+            50, [10, 10], p_in=1.0, p_out=0.0, seed=6
+        )
+        d = paraclique_decomposition(g, glom=0)
+        assert d.coverage(50) == pytest.approx(20 / 50)

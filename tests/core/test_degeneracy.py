@@ -1,0 +1,91 @@
+"""Tests for degeneracy ordering and core numbers."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.degeneracy import core_numbers, degeneracy, degeneracy_ordering
+from repro.core.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.core.graph import Graph
+
+
+class TestDegeneracy:
+    def test_empty(self):
+        order, d = degeneracy_ordering(Graph(0))
+        assert order == []
+        assert d == 0
+
+    def test_edgeless(self):
+        order, d = degeneracy_ordering(Graph(5))
+        assert sorted(order) == list(range(5))
+        assert d == 0
+
+    def test_path(self):
+        assert degeneracy(path_graph(10)) == 1
+
+    def test_cycle(self):
+        assert degeneracy(cycle_graph(8)) == 2
+
+    def test_complete(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_star(self):
+        assert degeneracy(star_graph(9)) == 1
+
+    def test_ordering_property(self):
+        """Each vertex has at most d neighbors later in the order."""
+        g = erdos_renyi(40, 0.3, seed=9)
+        order, d = degeneracy_ordering(g)
+        pos = {v: i for i, v in enumerate(order)}
+        for v in range(g.n):
+            later = sum(
+                1 for u in g.neighbors(v).tolist() if pos[u] > pos[v]
+            )
+            assert later <= d
+
+    def test_ordering_is_permutation(self):
+        g = erdos_renyi(30, 0.2, seed=3)
+        order, _ = degeneracy_ordering(g)
+        assert sorted(order) == list(range(30))
+
+
+class TestCoreNumbers:
+    def test_matches_networkx(self):
+        for seed in range(4):
+            g = erdos_renyi(25, 0.3, seed=seed)
+            ours = core_numbers(g)
+            theirs = nx.core_number(g.to_networkx())
+            for v in range(g.n):
+                assert ours[v] == theirs[v], f"vertex {v} seed {seed}"
+
+    def test_complete_graph_cores(self):
+        cores = core_numbers(complete_graph(5))
+        assert all(c == 4 for c in cores)
+
+    def test_max_core_is_degeneracy(self):
+        g = erdos_renyi(35, 0.25, seed=6)
+        assert int(core_numbers(g).max()) == degeneracy(g)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=25),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_degeneracy_bounds_random(n, seed):
+    g = erdos_renyi(n, 0.4, seed=seed)
+    d = degeneracy(g)
+    max_deg = max((g.degree(v) for v in range(n)), default=0)
+    assert 0 <= d <= max_deg
+    # degeneracy of any graph with m edges is >= m/n
+    if n:
+        assert d >= g.m / n - 1

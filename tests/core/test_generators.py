@@ -1,0 +1,143 @@
+"""Tests for the graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import generators as gen
+from repro.errors import ParameterError
+
+
+class TestErdosRenyi:
+    def test_deterministic(self):
+        assert gen.erdos_renyi(20, 0.3, seed=7) == gen.erdos_renyi(
+            20, 0.3, seed=7
+        )
+
+    def test_different_seeds_differ(self):
+        a = gen.erdos_renyi(30, 0.5, seed=1)
+        b = gen.erdos_renyi(30, 0.5, seed=2)
+        assert a != b
+
+    def test_p_zero_empty(self):
+        assert gen.erdos_renyi(10, 0.0, seed=0).m == 0
+
+    def test_p_one_complete(self):
+        g = gen.erdos_renyi(10, 1.0, seed=0)
+        assert g.m == 45
+
+    def test_p_out_of_range(self):
+        with pytest.raises(ParameterError):
+            gen.erdos_renyi(10, 1.5)
+
+    def test_validates(self):
+        gen.erdos_renyi(25, 0.4, seed=3).validate()
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gen.gnm_random(20, 37, seed=0)
+        assert g.m == 37
+
+    def test_zero_edges(self):
+        assert gen.gnm_random(5, 0, seed=0).m == 0
+
+    def test_max_edges(self):
+        assert gen.gnm_random(6, 15, seed=0).m == 15
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ParameterError):
+            gen.gnm_random(4, 7)
+
+
+class TestPlanted:
+    def test_planted_clique_is_clique(self):
+        g, members = gen.planted_clique(50, 8, 0.1, seed=4)
+        assert len(members) == 8
+        assert g.is_clique(members)
+
+    def test_planted_too_big(self):
+        with pytest.raises(ParameterError):
+            gen.planted_clique(5, 6, 0.1)
+
+    def test_planted_partition_blocks_are_cliques_at_pin_1(self):
+        g, blocks = gen.planted_partition(
+            40, [6, 5], p_in=1.0, p_out=0.0, seed=2
+        )
+        for b in blocks:
+            assert g.is_clique(b)
+
+    def test_planted_partition_sizes(self):
+        g, blocks = gen.planted_partition(30, [5, 5, 5], 0.9, 0.01, seed=1)
+        assert [len(b) for b in blocks] == [5, 5, 5]
+        assert len({v for b in blocks for v in b}) == 15
+
+    def test_planted_partition_overflow(self):
+        with pytest.raises(ParameterError):
+            gen.planted_partition(8, [5, 5], 1.0, 0.0)
+
+    def test_planted_partition_bad_p(self):
+        with pytest.raises(ParameterError):
+            gen.planted_partition(10, [3], 1.5, 0.0)
+
+
+class TestOverlapping:
+    def test_cliques_planted(self):
+        g, cliques = gen.overlapping_cliques(40, [6, 6, 6], 3, seed=0)
+        for c in cliques:
+            assert g.is_clique(c)
+
+    def test_consecutive_share_overlap(self):
+        g, cliques = gen.overlapping_cliques(40, [6, 5, 7], 3, seed=0)
+        for a, b in zip(cliques, cliques[1:]):
+            assert len(set(a) & set(b)) >= 3
+
+    def test_overlap_must_be_smaller(self):
+        with pytest.raises(ParameterError):
+            gen.overlapping_cliques(40, [4, 4], 4)
+
+    def test_needs_enough_vertices(self):
+        with pytest.raises(ParameterError):
+            gen.overlapping_cliques(5, [4, 4], 1)
+
+    def test_negative_overlap(self):
+        with pytest.raises(ParameterError):
+            gen.overlapping_cliques(40, [4], -1)
+
+
+class TestFixedFamilies:
+    def test_path(self):
+        g = gen.path_graph(5)
+        assert g.m == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_cycle(self):
+        g = gen.cycle_graph(5)
+        assert g.m == 5
+        assert all(g.degree(v) == 2 for v in range(5))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ParameterError):
+            gen.cycle_graph(2)
+
+    def test_complete(self):
+        g = gen.complete_graph(6)
+        assert g.m == 15
+        assert g.is_clique(range(6))
+
+    def test_star(self):
+        g = gen.star_graph(6)
+        assert g.degree(0) == 5
+        assert g.m == 5
+
+    def test_barbell(self):
+        g = gen.barbell_graph(3)
+        assert g.n == 6
+        assert g.is_clique([0, 1, 2])
+        assert g.is_clique([3, 4, 5])
+        assert g.has_edge(2, 3)
+
+    def test_barbell_invalid(self):
+        with pytest.raises(ParameterError):
+            gen.barbell_graph(0)

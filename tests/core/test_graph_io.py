@@ -1,0 +1,163 @@
+"""Tests for graph readers/writers, including malformed-input handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import graph_io
+from repro.core.generators import erdos_renyi
+from repro.core.graph import Graph
+from repro.errors import ParseError
+
+
+@pytest.fixture
+def sample() -> Graph:
+    return erdos_renyi(20, 0.3, seed=5)
+
+
+class TestDimacs:
+    def test_roundtrip(self, sample, tmp_path):
+        p = tmp_path / "g.dimacs"
+        graph_io.write_dimacs(sample, p, comment="test graph")
+        assert graph_io.read_dimacs(p) == sample
+
+    def test_comment_lines_written(self, sample, tmp_path):
+        p = tmp_path / "g.clq"
+        graph_io.write_dimacs(sample, p, comment="line1\nline2")
+        text = p.read_text()
+        assert text.startswith("c line1\nc line2\n")
+
+    def test_one_based_ids(self, tmp_path):
+        p = tmp_path / "g.dimacs"
+        p.write_text("p edge 3 1\ne 1 3\n")
+        g = graph_io.read_dimacs(p)
+        assert g.has_edge(0, 2)
+
+    def test_missing_problem_line(self, tmp_path):
+        p = tmp_path / "g.dimacs"
+        p.write_text("e 1 2\n")
+        with pytest.raises(ParseError, match="before problem line"):
+            graph_io.read_dimacs(p)
+
+    def test_duplicate_problem_line(self, tmp_path):
+        p = tmp_path / "g.dimacs"
+        p.write_text("p edge 3 0\np edge 3 0\n")
+        with pytest.raises(ParseError, match="duplicate"):
+            graph_io.read_dimacs(p)
+
+    def test_out_of_range_endpoint(self, tmp_path):
+        p = tmp_path / "g.dimacs"
+        p.write_text("p edge 3 1\ne 1 4\n")
+        with pytest.raises(ParseError, match="out of range"):
+            graph_io.read_dimacs(p)
+
+    def test_non_integer_endpoint(self, tmp_path):
+        p = tmp_path / "g.dimacs"
+        p.write_text("p edge 3 1\ne 1 x\n")
+        with pytest.raises(ParseError, match="non-integer"):
+            graph_io.read_dimacs(p)
+
+    def test_unknown_record(self, tmp_path):
+        p = tmp_path / "g.dimacs"
+        p.write_text("p edge 3 0\nq 1 2\n")
+        with pytest.raises(ParseError, match="unknown record"):
+            graph_io.read_dimacs(p)
+
+    def test_self_loops_skipped(self, tmp_path):
+        p = tmp_path / "g.dimacs"
+        p.write_text("p edge 3 2\ne 1 1\ne 1 2\n")
+        g = graph_io.read_dimacs(p)
+        assert g.m == 1
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "g.dimacs"
+        p.write_text("")
+        with pytest.raises(ParseError, match="missing problem line"):
+            graph_io.read_dimacs(p)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, sample, tmp_path):
+        p = tmp_path / "g.edges"
+        graph_io.write_edge_list(sample, p)
+        assert graph_io.read_edge_list(p) == sample
+
+    def test_header_preserves_isolated_vertices(self, tmp_path):
+        p = tmp_path / "g.edges"
+        g = Graph(5)
+        g.add_edge(0, 1)
+        graph_io.write_edge_list(g, p)
+        assert graph_io.read_edge_list(p).n == 5
+
+    def test_inferred_vertex_count(self, tmp_path):
+        p = tmp_path / "g.edges"
+        p.write_text("0 7\n")
+        assert graph_io.read_edge_list(p).n == 8
+
+    def test_comments_ignored(self, tmp_path):
+        p = tmp_path / "g.edges"
+        p.write_text("# header\n0 1 # trailing\n")
+        assert graph_io.read_edge_list(p).m == 1
+
+    def test_negative_id_rejected(self, tmp_path):
+        p = tmp_path / "g.edges"
+        p.write_text("-1 2\n")
+        with pytest.raises(ParseError, match="negative"):
+            graph_io.read_edge_list(p)
+
+    def test_malformed_line(self, tmp_path):
+        p = tmp_path / "g.edges"
+        p.write_text("0 1 2\n")
+        with pytest.raises(ParseError, match="expected"):
+            graph_io.read_edge_list(p)
+
+    def test_id_exceeds_header(self, tmp_path):
+        p = tmp_path / "g.edges"
+        p.write_text("n 3\n0 5\n")
+        with pytest.raises(ParseError, match="exceeds"):
+            graph_io.read_edge_list(p)
+
+
+class TestJson:
+    def test_roundtrip(self, sample, tmp_path):
+        p = tmp_path / "g.json"
+        graph_io.write_json(sample, p)
+        assert graph_io.read_json(p) == sample
+
+    def test_invalid_json(self, tmp_path):
+        p = tmp_path / "g.json"
+        p.write_text("{not json")
+        with pytest.raises(ParseError, match="invalid JSON"):
+            graph_io.read_json(p)
+
+    def test_missing_n(self, tmp_path):
+        p = tmp_path / "g.json"
+        p.write_text('{"edges": []}')
+        with pytest.raises(ParseError, match="'n'"):
+            graph_io.read_json(p)
+
+    def test_negative_n(self, tmp_path):
+        p = tmp_path / "g.json"
+        p.write_text('{"n": -2, "edges": []}')
+        with pytest.raises(ParseError, match="non-negative"):
+            graph_io.read_json(p)
+
+    def test_malformed_edge(self, tmp_path):
+        p = tmp_path / "g.json"
+        p.write_text('{"n": 3, "edges": [[0]]}')
+        with pytest.raises(ParseError, match="malformed edge"):
+            graph_io.read_json(p)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("ext", [".dimacs", ".clq", ".edges", ".json"])
+    def test_load_save_by_extension(self, sample, tmp_path, ext):
+        p = tmp_path / f"g{ext}"
+        graph_io.save(sample, p)
+        assert graph_io.load(p) == sample
+
+    def test_unknown_extension(self, sample, tmp_path):
+        with pytest.raises(ParseError, match="unknown graph format"):
+            graph_io.save(sample, tmp_path / "g.xyz")
+        with pytest.raises(ParseError, match="unknown graph format"):
+            graph_io.load(tmp_path / "g.xyz")

@@ -1,0 +1,168 @@
+"""Tests for Boolean graph algebra, including at-least-k-of-n."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import graph_ops as ops
+from repro.core.generators import erdos_renyi
+from repro.core.graph import Graph
+from repro.errors import GraphError, ParameterError
+
+
+def g_from(n, edges):
+    return Graph.from_edges(n, edges)
+
+
+class TestBasicOps:
+    def test_intersection(self):
+        a = g_from(4, [(0, 1), (1, 2)])
+        b = g_from(4, [(1, 2), (2, 3)])
+        r = ops.intersection([a, b])
+        assert list(r.edges()) == [(1, 2)]
+        r.validate()
+
+    def test_intersection_single(self):
+        a = g_from(3, [(0, 1)])
+        assert ops.intersection([a]) == a
+
+    def test_union(self):
+        a = g_from(4, [(0, 1)])
+        b = g_from(4, [(2, 3)])
+        r = ops.union([a, b])
+        assert r.m == 2
+        r.validate()
+
+    def test_difference(self):
+        a = g_from(4, [(0, 1), (1, 2)])
+        b = g_from(4, [(1, 2)])
+        r = ops.difference(a, b)
+        assert list(r.edges()) == [(0, 1)]
+
+    def test_symmetric_difference(self):
+        a = g_from(4, [(0, 1), (1, 2)])
+        b = g_from(4, [(1, 2), (2, 3)])
+        r = ops.symmetric_difference(a, b)
+        assert list(r.edges()) == [(0, 1), (2, 3)]
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ParameterError):
+            ops.union([])
+
+    def test_mismatched_universe_rejected(self):
+        with pytest.raises(GraphError):
+            ops.union([Graph(3), Graph(4)])
+
+
+class TestAtLeastK:
+    def test_k1_is_union(self):
+        gs = [g_from(4, [(0, 1)]), g_from(4, [(2, 3)])]
+        assert ops.at_least_k_of_n(gs, 1) == ops.union(gs)
+
+    def test_kn_is_intersection(self):
+        gs = [g_from(4, [(0, 1), (1, 2)]), g_from(4, [(1, 2)])]
+        assert ops.at_least_k_of_n(gs, 2) == ops.intersection(gs)
+
+    def test_majority_vote(self):
+        gs = [
+            g_from(4, [(0, 1), (1, 2)]),
+            g_from(4, [(0, 1), (2, 3)]),
+            g_from(4, [(0, 1), (1, 2)]),
+        ]
+        r = ops.at_least_k_of_n(gs, 2)
+        assert list(r.edges()) == [(0, 1), (1, 2)]
+
+    def test_k_out_of_range(self):
+        gs = [Graph(3)]
+        with pytest.raises(ParameterError):
+            ops.at_least_k_of_n(gs, 0)
+        with pytest.raises(ParameterError):
+            ops.at_least_k_of_n(gs, 2)
+
+    def test_no_edge_reaches_k(self):
+        gs = [g_from(3, [(0, 1)]), g_from(3, [(1, 2)]), g_from(3, [])]
+        r = ops.at_least_k_of_n(gs, 2)
+        assert r.m == 0
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_against_explicit_count(self, k):
+        gs = [erdos_renyi(15, 0.4, seed=s) for s in range(5)]
+        r = ops.at_least_k_of_n(gs, k)
+        for u in range(15):
+            for v in range(u + 1, 15):
+                votes = sum(g.has_edge(u, v) for g in gs)
+                assert r.has_edge(u, v) == (votes >= k), (u, v, votes, k)
+        r.validate()
+
+
+class TestAgreement:
+    def test_identical_graphs(self):
+        a = erdos_renyi(10, 0.3, seed=1)
+        assert ops.edge_agreement(a, a) == 1.0
+
+    def test_disjoint_graphs(self):
+        a = g_from(4, [(0, 1)])
+        b = g_from(4, [(2, 3)])
+        assert ops.edge_agreement(a, b) == 0.0
+
+    def test_empty_graphs_agree(self):
+        assert ops.edge_agreement(Graph(4), Graph(4)) == 1.0
+
+    def test_half_overlap(self):
+        a = g_from(4, [(0, 1), (1, 2)])
+        b = g_from(4, [(1, 2), (2, 3)])
+        assert ops.edge_agreement(a, b) == pytest.approx(1 / 3)
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+@st.composite
+def graph_family(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    n_graphs = draw(st.integers(min_value=1, max_value=6))
+    pairs = st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+    ).filter(lambda p: p[0] != p[1])
+    graphs = [
+        Graph.from_edges(n, draw(st.lists(pairs, max_size=30)))
+        for _ in range(n_graphs)
+    ]
+    return graphs
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_family(), st.data())
+def test_at_least_k_matches_vote_counting(gs, data):
+    k = data.draw(st.integers(min_value=1, max_value=len(gs)))
+    r = ops.at_least_k_of_n(gs, k)
+    n = gs[0].n
+    for u in range(n):
+        for v in range(u + 1, n):
+            votes = sum(g.has_edge(u, v) for g in gs)
+            assert r.has_edge(u, v) == (votes >= k)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_family())
+def test_at_least_k_monotone_in_k(gs):
+    prev = None
+    for k in range(1, len(gs) + 1):
+        cur = ops.at_least_k_of_n(gs, k)
+        if prev is not None:
+            # raising k can only remove edges
+            assert ops.difference(cur, prev).m == 0
+        prev = cur
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_family())
+def test_union_intersection_sandwich(gs):
+    uni = ops.union(gs)
+    inter = ops.intersection(gs)
+    assert ops.difference(inter, uni).m == 0
+    assert uni.m >= inter.m

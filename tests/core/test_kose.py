@@ -1,0 +1,102 @@
+"""Tests for the Kose et al. RAM baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clique_enumerator import enumerate_maximal_cliques
+from repro.core.generators import (
+    complete_graph,
+    erdos_renyi,
+    path_graph,
+    planted_clique,
+)
+from repro.core.graph import Graph
+from repro.core.kose import kose_enumerate
+from repro.errors import BudgetExceeded, ParameterError
+from tests.conftest import nx_maximal_cliques
+
+
+class TestBasics:
+    def test_empty(self):
+        assert kose_enumerate(Graph(0)).cliques == []
+
+    def test_isolated_vertices(self):
+        res = kose_enumerate(Graph(2), k_min=1)
+        assert sorted(res.cliques) == [(0,), (1,)]
+
+    def test_triangle(self, triangle):
+        assert kose_enumerate(triangle).cliques == [(0, 1, 2)]
+
+    def test_path(self):
+        res = kose_enumerate(path_graph(4))
+        assert sorted(res.cliques) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_complete(self):
+        assert kose_enumerate(complete_graph(6)).cliques == [
+            tuple(range(6))
+        ]
+
+    def test_invalid_params(self, triangle):
+        with pytest.raises(ParameterError):
+            kose_enumerate(triangle, k_min=0)
+        with pytest.raises(ParameterError):
+            kose_enumerate(triangle, k_min=3, k_max=2)
+
+    def test_non_decreasing_order(self, random_graph):
+        res = kose_enumerate(random_graph)
+        sizes = [len(c) for c in res.cliques]
+        assert sizes == sorted(sizes)
+
+    def test_size_filters(self, barbell4):
+        res = kose_enumerate(barbell4, k_min=3)
+        assert sorted(res.cliques) == [(0, 1, 2, 3), (4, 5, 6, 7)]
+        res = kose_enumerate(barbell4, k_min=2, k_max=2)
+        assert res.cliques == [(3, 4)]
+
+
+class TestAgainstCliqueEnumerator:
+    def test_same_output(self, seeded_er):
+        ce = enumerate_maximal_cliques(seeded_er, k_min=1)
+        ko = kose_enumerate(seeded_er, k_min=1)
+        assert sorted(ce.cliques) == sorted(ko.cliques)
+
+    def test_kose_stores_more(self):
+        """Full retention: Kose's stored cliques >= CE's candidates."""
+        g, _ = planted_clique(40, 9, 0.1, seed=4)
+        ce = enumerate_maximal_cliques(g)
+        ko = kose_enumerate(g)
+        ce_by_k = {ls.k: ls.n_candidates for ls in ce.level_stats}
+        for ls in ko.level_stats:
+            if ls.k in ce_by_k:
+                # Kose keeps all k-cliques; CE keeps only candidates
+                assert ls.stored_cliques >= ce_by_k[ls.k]
+
+    def test_subset_probe_counter(self, random_graph):
+        res = kose_enumerate(random_graph)
+        assert res.counters.extra.get("subset_probes", 0) > 0
+
+    def test_peak_bytes(self, random_graph):
+        res = kose_enumerate(random_graph)
+        assert res.peak_stored_bytes() > 0
+
+
+class TestBudget:
+    def test_stored_budget_trips(self):
+        g = erdos_renyi(25, 0.6, seed=3)
+        with pytest.raises(BudgetExceeded):
+            kose_enumerate(g, max_stored=5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=14),
+    st.floats(min_value=0.0, max_value=0.9),
+    st.integers(min_value=0, max_value=500),
+)
+def test_kose_matches_networkx(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    res = kose_enumerate(g, k_min=1)
+    assert sorted(res.cliques) == nx_maximal_cliques(g)

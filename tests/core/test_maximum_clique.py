@@ -1,0 +1,120 @@
+"""Tests for maximum clique bounds and exact solvers."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    planted_clique,
+    star_graph,
+)
+from repro.core.graph import Graph
+from repro.core.maximum_clique import (
+    degeneracy_bound,
+    greedy_clique,
+    greedy_coloring_bound,
+    maximum_clique,
+    maximum_clique_size,
+    maximum_clique_via_vertex_cover,
+)
+
+
+def nx_max_clique_size(g: Graph) -> int:
+    cliques = list(nx.find_cliques(g.to_networkx())) or [[]]
+    return max(len(c) for c in cliques)
+
+
+class TestBounds:
+    def test_greedy_is_clique(self, random_graph):
+        c = greedy_clique(random_graph)
+        assert random_graph.is_clique(c)
+        assert len(c) >= 1
+
+    def test_greedy_empty_graph(self):
+        assert greedy_clique(Graph(0)) == []
+
+    def test_coloring_bound_complete(self):
+        assert greedy_coloring_bound(complete_graph(5)) == 5
+
+    def test_coloring_bound_bipartiteish(self):
+        assert greedy_coloring_bound(path_graph(6)) == 2
+
+    def test_coloring_bound_empty(self):
+        assert greedy_coloring_bound(Graph(0)) == 0
+
+    def test_degeneracy_bound(self):
+        assert degeneracy_bound(complete_graph(6)) == 6
+        assert degeneracy_bound(star_graph(8)) == 2
+        assert degeneracy_bound(Graph(0)) == 0
+
+    def test_bounds_sandwich_optimum(self, seeded_er):
+        omega = len(maximum_clique(seeded_er))
+        assert len(greedy_clique(seeded_er)) <= omega
+        assert omega <= greedy_coloring_bound(seeded_er)
+        assert omega <= degeneracy_bound(seeded_er)
+
+
+class TestExactBranchAndBound:
+    def test_empty(self):
+        assert maximum_clique(Graph(0)) == []
+
+    def test_edgeless(self):
+        assert len(maximum_clique(Graph(4))) == 1
+
+    def test_complete(self):
+        assert maximum_clique(complete_graph(7)) == list(range(7))
+
+    def test_cycle(self):
+        assert maximum_clique_size(cycle_graph(7)) == 2
+
+    def test_planted_clique_recovered(self):
+        g, members = planted_clique(60, 10, 0.15, seed=6)
+        assert maximum_clique(g) == members
+
+    def test_matches_networkx(self, seeded_er):
+        assert maximum_clique_size(seeded_er) == nx_max_clique_size(
+            seeded_er
+        )
+
+    def test_result_is_sorted_clique(self, random_graph):
+        c = maximum_clique(random_graph)
+        assert c == sorted(c)
+        assert random_graph.is_clique(c)
+
+
+class TestViaVertexCover:
+    def test_empty(self):
+        assert maximum_clique_via_vertex_cover(Graph(0)) == []
+
+    def test_triangle(self, triangle):
+        assert maximum_clique_via_vertex_cover(triangle) == [0, 1, 2]
+
+    def test_path(self):
+        assert len(maximum_clique_via_vertex_cover(path_graph(4))) == 2
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_agrees_with_branch_and_bound(self, seed):
+        g = erdos_renyi(14, 0.5, seed=seed)
+        assert len(maximum_clique_via_vertex_cover(g)) == len(
+            maximum_clique(g)
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=18),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=999),
+)
+def test_exact_solver_property(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    c = maximum_clique(g)
+    assert g.is_clique(c)
+    assert len(c) == nx_max_clique_size(g)

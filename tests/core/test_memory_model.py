@@ -1,0 +1,93 @@
+"""Tests for the memory model and paper recurrences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clique_enumerator import LevelStats, enumerate_maximal_cliques
+from repro.core.generators import complete_graph, planted_clique
+from repro.core.memory_model import (
+    bytes_to_unit,
+    check_paper_recurrences,
+    memory_profile,
+)
+
+
+def _stats(k, n_sub, m_cand, bytes_=100):
+    return LevelStats(
+        k=k,
+        n_sublists=n_sub,
+        n_candidates=m_cand,
+        maximal_emitted=0,
+        candidate_bytes=bytes_,
+        paper_formula_bytes=bytes_,
+    )
+
+
+class TestUnits:
+    def test_conversions(self):
+        assert bytes_to_unit(1024, "KB") == 1.0
+        assert bytes_to_unit(1024 ** 3, "GB") == 1.0
+        assert bytes_to_unit(512, "B") == 512
+
+    def test_unknown_unit(self):
+        with pytest.raises(ValueError):
+            bytes_to_unit(1, "PB")
+
+
+class TestProfile:
+    def test_profile_from_run(self, random_graph):
+        res = enumerate_maximal_cliques(random_graph)
+        prof = memory_profile(res.level_stats)
+        assert prof.sizes == [ls.k for ls in res.level_stats]
+        peak_k, peak_b = prof.peak()
+        assert peak_b == max(prof.measured_bytes)
+        assert peak_k in prof.sizes
+
+    def test_empty_profile(self):
+        prof = memory_profile([])
+        assert prof.peak() == (0, 0)
+        assert prof.series() == []
+
+    def test_series_units(self):
+        prof = memory_profile([_stats(2, 1, 1, bytes_=2048)])
+        assert prof.series("KB") == [(2, 2.0)]
+
+    def test_rise_and_fall_on_planted(self):
+        g, _ = planted_clique(70, 11, 0.1, seed=2)
+        res = enumerate_maximal_cliques(g)
+        prof = memory_profile(res.level_stats)
+        peak_k, _ = prof.peak()
+        # peak strictly inside the range: the Figure 9 shape
+        assert prof.sizes[0] < peak_k < prof.sizes[-1]
+
+
+class TestRecurrences:
+    def test_valid_run_passes(self, random_graph):
+        res = enumerate_maximal_cliques(random_graph)
+        assert check_paper_recurrences(res.level_stats, random_graph.n) == []
+
+    def test_complete_graph_passes_safe_bounds(self):
+        g = complete_graph(8)
+        res = enumerate_maximal_cliques(g)
+        assert check_paper_recurrences(res.level_stats, 8) == []
+
+    def test_nonconsecutive_levels_flagged(self):
+        issues = check_paper_recurrences(
+            [_stats(2, 1, 2), _stats(4, 1, 2)], 10
+        )
+        assert any("not consecutive" in s for s in issues)
+
+    def test_n_bound_violation_flagged(self):
+        # N[3] = 5 > M[2] - 2*N[2] = 4 - 2 = 2
+        issues = check_paper_recurrences(
+            [_stats(2, 1, 4), _stats(3, 5, 5)], 10
+        )
+        assert any("N[3]" in s for s in issues)
+
+    def test_m_bound_violation_flagged(self):
+        # safe M bound: (M[2]-2N[2])*(n-k) = 2*8 = 16 < 50
+        issues = check_paper_recurrences(
+            [_stats(2, 1, 4), _stats(3, 2, 50)], 10
+        )
+        assert any("M[3]" in s for s in issues)

@@ -1,0 +1,89 @@
+"""Tests for paraclique extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generators import complete_graph, planted_clique
+from repro.core.graph import Graph
+from repro.core.paraclique import (
+    paraclique,
+    proportional_paraclique,
+    subgraph_density,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def near_clique() -> Graph:
+    """K6 plus a vertex adjacent to 5 of its 6 members."""
+    g = complete_graph(7)
+    g.remove_edge(5, 6)
+    return g
+
+
+class TestParaclique:
+    def test_pure_clique_unchanged_at_glom_0(self, k5):
+        assert paraclique(k5, glom=0) == [0, 1, 2, 3, 4]
+
+    def test_gloms_near_member(self, near_clique):
+        # vertex 6 misses one edge to the max clique {0..5}
+        result = paraclique(near_clique, glom=1)
+        assert result == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_glom_zero_excludes_near_member(self, near_clique):
+        result = paraclique(near_clique, glom=0, base=[0, 1, 2, 3, 4, 5])
+        assert 6 not in result
+
+    def test_explicit_base(self, near_clique):
+        result = paraclique(near_clique, glom=1, base=[0, 1, 2])
+        assert set([0, 1, 2]).issubset(result)
+
+    def test_non_clique_base_rejected(self, near_clique):
+        with pytest.raises(ParameterError):
+            paraclique(near_clique, base=[5, 6])
+
+    def test_negative_glom_rejected(self, k5):
+        with pytest.raises(ParameterError):
+            paraclique(k5, glom=-1)
+
+    def test_density_stays_high(self):
+        g, members = planted_clique(40, 8, 0.1, seed=3)
+        result = paraclique(g, glom=1, base=members)
+        assert subgraph_density(g, result) >= 0.7
+
+
+class TestProportional:
+    def test_fraction_validated(self, k5):
+        with pytest.raises(ParameterError):
+            proportional_paraclique(k5, fraction=0.0)
+        with pytest.raises(ParameterError):
+            proportional_paraclique(k5, fraction=1.2)
+
+    def test_fraction_one_keeps_clique(self, near_clique):
+        result = proportional_paraclique(
+            near_clique, fraction=1.0, base=[0, 1, 2, 3, 4, 5]
+        )
+        assert result == [0, 1, 2, 3, 4, 5]
+
+    def test_loose_fraction_gloms(self, near_clique):
+        result = proportional_paraclique(
+            near_clique, fraction=0.8, base=[0, 1, 2, 3, 4, 5]
+        )
+        assert 6 in result
+
+    def test_non_clique_base_rejected(self, near_clique):
+        with pytest.raises(ParameterError):
+            proportional_paraclique(near_clique, base=[5, 6])
+
+
+class TestDensity:
+    def test_clique_density_one(self, k5):
+        assert subgraph_density(k5, [0, 1, 2, 3, 4]) == 1.0
+
+    def test_small_sets(self, k5):
+        assert subgraph_density(k5, []) == 1.0
+        assert subgraph_density(k5, [2]) == 1.0
+
+    def test_empty_subgraph(self):
+        assert subgraph_density(Graph(4), [0, 1, 2]) == 0.0

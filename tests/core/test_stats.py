@@ -1,0 +1,101 @@
+"""Tests for graph statistics."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.core.graph import Graph
+from repro.core.stats import (
+    average_clustering,
+    clustering_coefficient,
+    connected_components,
+    degree_histogram,
+    summarize,
+    triangle_count,
+)
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        h = degree_histogram(star_graph(6))
+        assert h == {1: 5, 5: 1}
+
+    def test_empty(self):
+        assert degree_histogram(Graph(0)) == {}
+
+
+class TestTriangles:
+    def test_complete(self):
+        assert triangle_count(complete_graph(5)) == 10  # C(5,3)
+
+    def test_triangle_free(self):
+        assert triangle_count(cycle_graph(6)) == 0
+        assert triangle_count(path_graph(5)) == 0
+
+    def test_matches_networkx(self):
+        for seed in range(3):
+            g = erdos_renyi(30, 0.3, seed=seed)
+            ours = triangle_count(g)
+            theirs = sum(nx.triangles(g.to_networkx()).values()) // 3
+            assert ours == theirs
+
+
+class TestClustering:
+    def test_clique_vertex(self):
+        assert clustering_coefficient(complete_graph(4), 0) == 1.0
+
+    def test_low_degree_zero(self):
+        assert clustering_coefficient(path_graph(3), 0) == 0.0
+
+    def test_average_matches_networkx(self):
+        g = erdos_renyi(25, 0.35, seed=4)
+        ours = average_clustering(g)
+        theirs = nx.average_clustering(g.to_networkx())
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_empty_graph(self):
+        assert average_clustering(Graph(0)) == 0.0
+
+
+class TestComponents:
+    def test_connected(self):
+        comps = connected_components(cycle_graph(5))
+        assert len(comps) == 1
+        assert comps[0] == list(range(5))
+
+    def test_isolated_vertices(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        comps = connected_components(g)
+        assert comps[0] == [0, 1]
+        assert len(comps) == 3
+
+    def test_sorted_by_size(self):
+        g = Graph.from_edges(7, [(0, 1), (1, 2), (3, 4)])
+        comps = connected_components(g)
+        assert [len(c) for c in comps] == [3, 2, 1, 1]
+
+
+class TestSummary:
+    def test_complete_graph(self):
+        s = summarize(complete_graph(5))
+        assert s.n == 5
+        assert s.m == 10
+        assert s.density == pytest.approx(1.0)
+        assert s.triangles == 10
+        assert s.average_clustering == pytest.approx(1.0)
+        assert s.n_components == 1
+        assert s.largest_component == 5
+
+    def test_empty(self):
+        s = summarize(Graph(0))
+        assert s.n == 0
+        assert s.largest_component == 0

@@ -1,0 +1,138 @@
+"""Tests for the FPT vertex cover solver."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.core.graph import Graph
+from repro.core.vertex_cover import (
+    greedy_vertex_cover,
+    is_vertex_cover,
+    matching_lower_bound,
+    minimum_vertex_cover,
+    vertex_cover_decision,
+)
+from repro.errors import ParameterError
+
+
+def brute_min_vc(g: Graph) -> int:
+    """Exact minimum cover size by exhaustive search (tiny graphs)."""
+    from itertools import combinations
+
+    for k in range(g.n + 1):
+        for subset in combinations(range(g.n), k):
+            if is_vertex_cover(g, subset):
+                return k
+    return g.n
+
+
+class TestHelpers:
+    def test_is_vertex_cover(self, triangle):
+        assert is_vertex_cover(triangle, [0, 1])
+        assert not is_vertex_cover(triangle, [0])
+        assert is_vertex_cover(Graph(3), [])
+
+    def test_greedy_is_cover(self, random_graph):
+        assert is_vertex_cover(random_graph, greedy_vertex_cover(random_graph))
+
+    def test_matching_bound_le_cover(self, random_graph):
+        assert matching_lower_bound(random_graph) <= len(
+            minimum_vertex_cover(random_graph)
+        )
+
+    def test_greedy_is_2_approx(self, random_graph):
+        opt = len(minimum_vertex_cover(random_graph))
+        assert len(greedy_vertex_cover(random_graph)) <= 2 * opt
+
+
+class TestDecision:
+    def test_negative_budget(self, triangle):
+        with pytest.raises(ParameterError):
+            vertex_cover_decision(triangle, -1)
+
+    def test_zero_budget_on_edgeless(self):
+        assert vertex_cover_decision(Graph(4), 0) == []
+
+    def test_zero_budget_with_edges(self, triangle):
+        assert vertex_cover_decision(triangle, 0) is None
+
+    def test_triangle_needs_two(self, triangle):
+        assert vertex_cover_decision(triangle, 1) is None
+        sol = vertex_cover_decision(triangle, 2)
+        assert sol is not None and len(sol) == 2
+
+    def test_star_covered_by_center(self):
+        sol = vertex_cover_decision(star_graph(9), 1)
+        assert sol == [0]
+
+    def test_solution_within_budget(self, random_graph):
+        k = len(greedy_vertex_cover(random_graph))
+        sol = vertex_cover_decision(random_graph, k)
+        assert sol is not None
+        assert len(sol) <= k
+        assert is_vertex_cover(random_graph, sol)
+
+
+class TestMinimum:
+    def test_path(self):
+        assert len(minimum_vertex_cover(path_graph(5))) == 2
+
+    def test_cycle_even(self):
+        assert len(minimum_vertex_cover(cycle_graph(6))) == 3
+
+    def test_cycle_odd(self):
+        assert len(minimum_vertex_cover(cycle_graph(7))) == 4
+
+    def test_complete(self):
+        assert len(minimum_vertex_cover(complete_graph(6))) == 5
+
+    def test_empty(self):
+        assert minimum_vertex_cover(Graph(5)) == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, seed):
+        g = erdos_renyi(10, 0.35, seed=seed)
+        assert len(minimum_vertex_cover(g)) == brute_min_vc(g)
+
+    def test_matches_networkx_lp_bound(self):
+        # min VC >= maximum matching size (Kőnig: equality on bipartite)
+        g = erdos_renyi(20, 0.2, seed=5)
+        nxg = g.to_networkx()
+        matching = nx.max_weight_matching(nxg, maxcardinality=True)
+        assert len(minimum_vertex_cover(g)) >= len(matching)
+
+    def test_clique_vc_duality(self):
+        """n - minVC(complement) == maximum clique size."""
+        from repro.core.maximum_clique import maximum_clique_size
+
+        for seed in range(3):
+            g = erdos_renyi(12, 0.5, seed=seed)
+            vc = minimum_vertex_cover(g.complement())
+            assert g.n - len(vc) == maximum_clique_size(g)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.floats(min_value=0.0, max_value=0.8),
+    st.integers(min_value=0, max_value=500),
+)
+def test_minimum_cover_property(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    sol = minimum_vertex_cover(g)
+    assert is_vertex_cover(g, sol)
+    assert len(sol) >= matching_lower_bound(g)
+    # removing any vertex from a minimum cover must break it
+    for v in sol:
+        rest = [u for u in sol if u != v]
+        assert not is_vertex_cover(g, rest)

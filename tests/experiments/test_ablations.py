@@ -1,0 +1,47 @@
+"""Tests for the ablation experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generators import planted_partition
+from repro.experiments import ablations
+from repro.experiments.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    g, _ = planted_partition(
+        120, [11, 10, 9], p_in=0.95, p_out=0.02, seed=13
+    )
+    w = Workload(
+        name="ablation_test",
+        graph=g,
+        paper_analog="test-only",
+        expected_max_clique=11,
+        description="small ablation workload",
+    )
+    return ablations.run(w)
+
+
+class TestAblations:
+    def test_bitscan_scans_more_volume(self, result):
+        """The paper's §2.3 argument: n bits per clique vs bounded list."""
+        assert result.bitscan_bits > 10 * result.list_pair_checks
+
+    def test_ooc_pays_disk_traffic(self, result):
+        assert result.ooc_bytes > 0
+        assert result.ooc_seconds > 0
+
+    def test_balancing_helps(self, result):
+        assert result.balanced_16p <= result.unbalanced_16p + 1e-9
+
+    def test_penalty_monotone(self, result):
+        series = sorted(result.penalty_series.items())
+        times = [t for _, t in series]
+        assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_report_renders(self, result):
+        text = ablations.report(result)
+        assert "generation" in text
+        assert "out-of-core" in text

@@ -1,0 +1,50 @@
+"""Tests for the report renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_bytes,
+    format_seconds,
+    render_table,
+)
+
+
+class TestFormatters:
+    def test_seconds_ranges(self):
+        assert format_seconds(1234.5) == "1,234 s"
+        assert format_seconds(5.678) == "5.68 s"
+        assert format_seconds(0.0123) == "12.30 ms"
+        assert format_seconds(2.5e-6) == "2.5 us"
+
+    def test_bytes_ranges(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.0 KB"
+        assert format_bytes(3 * 1024**3) == "3.0 GB"
+
+
+class TestRenderTable:
+    def test_basic_structure(self):
+        out = render_table(
+            ["name", "value"], [["a", 1], ["bb", 22]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("+-")
+        assert "| name" in lines[2]
+        assert out.count("|") >= 9
+
+    def test_numeric_columns_right_aligned(self):
+        out = render_table(["x"], [["1"], ["22"]])
+        rows = [l for l in out.splitlines() if l.startswith("|")]
+        # the data cell '1' must be right-aligned under the header
+        assert rows[1].endswith(" 1 |")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out

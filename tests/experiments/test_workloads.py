@@ -1,0 +1,75 @@
+"""Tests pinning the scaled workloads to their paper analogs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.maximum_clique import maximum_clique_size
+from repro.experiments.workloads import (
+    INIT_K_MAP,
+    mouse_brain_dense,
+    mouse_brain_sparse,
+    myogenic_like,
+    scaled_init_k,
+)
+
+
+class TestInitKMap:
+    def test_paper_labels(self):
+        assert scaled_init_k(18) == 9
+        assert scaled_init_k(19) == 10
+        assert scaled_init_k(20) == 11
+        assert scaled_init_k(3) == 3
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            scaled_init_k(21)
+
+
+class TestMouseBrainSparse:
+    def test_cached(self):
+        assert mouse_brain_sparse() is mouse_brain_sparse()
+
+    def test_scale(self):
+        w = mouse_brain_sparse()
+        assert w.graph.n == 1242  # 12,422 / 10
+        assert w.graph.density() < 0.005  # sparse regime
+
+    def test_max_clique_is_17(self):
+        """Paper: maximum clique 17 on this graph."""
+        w = mouse_brain_sparse()
+        assert maximum_clique_size(w.graph) == 17
+        assert w.expected_max_clique == 17
+
+
+class TestMyogenicLike:
+    def test_scale(self):
+        w = myogenic_like()
+        assert w.graph.n == 724  # ~2,895 / 4
+
+    def test_max_clique_is_14(self):
+        """Paper's 28 with the documented k-axis halving."""
+        w = myogenic_like()
+        assert maximum_clique_size(w.graph) == 14
+
+    def test_init_k_levels_have_work(self):
+        """The scaled Init_K levels must hold candidate cliques."""
+        from repro.core.kclique import enumerate_k_cliques
+
+        w = myogenic_like()
+        for scaled in (9, 10, 11):
+            res = enumerate_k_cliques(w.graph, scaled)
+            assert len(res.non_maximal) > 0, f"Init_K={scaled} is empty"
+
+
+class TestMouseBrainDense:
+    def test_scale_and_max_clique(self):
+        w = mouse_brain_dense()
+        assert w.graph.n == 1242
+        assert maximum_clique_size(w.graph) == w.expected_max_clique == 22
+
+    def test_denser_than_sparse(self):
+        assert (
+            mouse_brain_dense().graph.density()
+            > mouse_brain_sparse().graph.density()
+        )

@@ -1,0 +1,92 @@
+"""Tests for the simulated machine model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.parallel.machine import LevelTiming, MachineSpec, VirtualClock
+
+
+class TestMachineSpec:
+    def test_defaults_valid(self):
+        spec = MachineSpec(n_processors=4)
+        assert spec.sync_cost() > 0
+
+    def test_invalid_processors(self):
+        with pytest.raises(ParameterError):
+            MachineSpec(n_processors=0)
+
+    def test_invalid_work_unit(self):
+        with pytest.raises(ParameterError):
+            MachineSpec(n_processors=1, seconds_per_work_unit=0)
+
+    def test_remote_cheaper_than_local_rejected(self):
+        with pytest.raises(ParameterError):
+            MachineSpec(n_processors=1, remote_access_penalty=0.5)
+
+    def test_negative_sync_rejected(self):
+        with pytest.raises(ParameterError):
+            MachineSpec(n_processors=1, sync_base_seconds=-1)
+
+    def test_with_processors_preserves_other_fields(self):
+        a = MachineSpec(n_processors=1, seconds_per_work_unit=1e-6)
+        b = a.with_processors(16)
+        assert b.n_processors == 16
+        assert b.seconds_per_work_unit == 1e-6
+
+    def test_sync_cost_grows_with_p(self):
+        a = MachineSpec(n_processors=2)
+        b = a.with_processors(256)
+        assert b.sync_cost() > a.sync_cost()
+
+    def test_work_seconds_remote_penalty(self):
+        spec = MachineSpec(
+            n_processors=1,
+            seconds_per_work_unit=1.0,
+            remote_access_penalty=2.0,
+        )
+        assert spec.work_seconds(3) == 3.0
+        assert spec.work_seconds(3, remote=True) == 6.0
+
+
+class TestLevelTiming:
+    def test_wall_is_max_plus_sync(self):
+        t = LevelTiming(
+            k=3, busy_seconds=(1.0, 3.0, 2.0), sync_seconds=0.5,
+            transfers=0, transferred_work=0,
+        )
+        assert t.wall_seconds == 3.5
+        assert t.mean_busy == 2.0
+
+    def test_std(self):
+        t = LevelTiming(
+            k=3, busy_seconds=(1.0, 3.0), sync_seconds=0.0,
+            transfers=0, transferred_work=0,
+        )
+        assert t.std_busy == 1.0
+
+    def test_empty_busy(self):
+        t = LevelTiming(
+            k=3, busy_seconds=(), sync_seconds=0.1,
+            transfers=0, transferred_work=0,
+        )
+        assert t.wall_seconds == 0.1
+        assert t.mean_busy == 0.0
+        assert t.std_busy == 0.0
+
+
+class TestVirtualClock:
+    def test_accumulates(self):
+        clock = VirtualClock()
+        for k in (2, 3):
+            clock.advance_level(
+                LevelTiming(
+                    k=k, busy_seconds=(1.0, 2.0), sync_seconds=0.5,
+                    transfers=1, transferred_work=10,
+                )
+            )
+        assert clock.elapsed_seconds == pytest.approx(5.0)
+        assert clock.total_busy() == pytest.approx(6.0)
+        assert clock.total_sync() == pytest.approx(1.0)
+        assert len(clock.levels) == 2

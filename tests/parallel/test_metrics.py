@@ -1,0 +1,75 @@
+"""Tests for speedup and load-balance metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generators import planted_partition
+from repro.parallel.machine import MachineSpec
+from repro.parallel.metrics import (
+    absolute_speedup,
+    load_balance_stats,
+    relative_speedups,
+    speedup_table,
+)
+from repro.parallel.parallel_enumerator import (
+    record_trace,
+    simulate_processor_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    g, _ = planted_partition(
+        90, [10, 9, 8, 8], p_in=0.95, p_out=0.04, seed=23
+    )
+    trace = record_trace(g, k_min=3)
+    spec = MachineSpec(n_processors=1, seconds_per_work_unit=1e-6)
+    return simulate_processor_sweep(trace, spec, [1, 2, 4, 8, 16])
+
+
+class TestSpeedups:
+    def test_absolute_baseline_is_one(self, runs):
+        abs_sp = absolute_speedup(runs)
+        assert abs_sp[1] == pytest.approx(1.0)
+
+    def test_absolute_monotone_initially(self, runs):
+        abs_sp = absolute_speedup(runs)
+        assert abs_sp[2] > 1.0
+        assert abs_sp[4] > abs_sp[2] * 0.9
+
+    def test_absolute_requires_p1(self, runs):
+        partial = {p: r for p, r in runs.items() if p != 1}
+        with pytest.raises(ValueError):
+            absolute_speedup(partial)
+
+    def test_relative_keys_are_doublings(self, runs):
+        rel = relative_speedups(runs)
+        assert sorted(rel) == [2, 4, 8, 16]
+        for v in rel.values():
+            assert 0.5 < v <= 2.0 + 1e-9
+
+    def test_speedup_table_rows(self, runs):
+        rows = speedup_table(runs)
+        assert [r[0] for r in rows] == [1, 2, 4, 8, 16]
+        for p, tp, sp, eff in rows:
+            assert tp > 0
+            assert 0 < eff <= 1.0 + 1e-9
+
+
+class TestLoadBalance:
+    def test_stats_fields(self, runs):
+        stats = load_balance_stats(runs[4])
+        assert stats.n_processors == 4
+        assert stats.mean_busy > 0
+        assert stats.std_busy >= 0
+        assert 0 <= stats.std_over_mean < 1
+
+    def test_single_processor_perfectly_balanced(self, runs):
+        stats = load_balance_stats(runs[1])
+        assert stats.std_busy == pytest.approx(0.0)
+
+    def test_balanced_within_paper_bound(self, runs):
+        """The paper's Figure 8 criterion: std within 10% of mean."""
+        for p in (2, 4, 8):
+            assert load_balance_stats(runs[p]).std_over_mean <= 0.10

@@ -1,0 +1,64 @@
+"""Tests for the real multiprocessing backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clique_enumerator import enumerate_maximal_cliques
+from repro.core.generators import erdos_renyi, planted_partition
+from repro.errors import ParameterError
+from repro.parallel.mp_backend import enumerate_maximal_cliques_mp
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g, _ = planted_partition(
+        80, [9, 8, 8], p_in=0.95, p_out=0.04, seed=31
+    )
+    return g
+
+
+class TestMPBackend:
+    def test_single_worker_matches_sequential(self, workload):
+        seq = enumerate_maximal_cliques(workload, k_min=2)
+        par = enumerate_maximal_cliques_mp(workload, n_workers=1)
+        assert sorted(par.cliques) == sorted(seq.cliques)
+
+    def test_two_workers_match_sequential(self, workload):
+        seq = enumerate_maximal_cliques(workload, k_min=2)
+        par = enumerate_maximal_cliques_mp(workload, n_workers=2)
+        assert sorted(par.cliques) == sorted(seq.cliques)
+        assert par.n_workers == 2
+
+    def test_init_k_seeding(self, workload):
+        seq = enumerate_maximal_cliques(workload, k_min=4)
+        par = enumerate_maximal_cliques_mp(workload, k_min=4, n_workers=2)
+        assert sorted(par.cliques) == sorted(seq.cliques)
+
+    def test_k_max(self, workload):
+        seq = enumerate_maximal_cliques(workload, k_min=2, k_max=4)
+        par = enumerate_maximal_cliques_mp(
+            workload, k_max=4, n_workers=2
+        )
+        assert sorted(par.cliques) == sorted(seq.cliques)
+
+    def test_non_decreasing_order_preserved(self, workload):
+        par = enumerate_maximal_cliques_mp(workload, n_workers=2)
+        sizes = [len(c) for c in par.cliques]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_range(self, workload):
+        with pytest.raises(ParameterError):
+            enumerate_maximal_cliques_mp(workload, k_min=5, k_max=4)
+
+    def test_empty_graph(self):
+        from repro.core.graph import Graph
+
+        par = enumerate_maximal_cliques_mp(Graph(0), n_workers=2)
+        assert par.cliques == []
+
+    def test_random_graph_matches(self):
+        g = erdos_renyi(40, 0.3, seed=9)
+        seq = enumerate_maximal_cliques(g, k_min=2)
+        par = enumerate_maximal_cliques_mp(g, n_workers=2)
+        assert sorted(par.cliques) == sorted(seq.cliques)

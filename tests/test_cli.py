@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core import graph_io
+from repro.core.generators import barbell_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.json"
+    graph_io.write_json(barbell_graph(3), path)
+    return str(path)
+
+
+class TestEnumerate:
+    def test_lists_cliques(self, graph_file, capsys):
+        assert main(["enumerate", graph_file]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert "0 1 2" in out
+        assert "3 4 5" in out
+        assert "2 3" in out
+
+    def test_count_mode(self, graph_file, capsys):
+        assert main(["enumerate", graph_file, "--count"]) == 0
+        out = capsys.readouterr().out
+        assert "size 2: 1" in out
+        assert "size 3: 2" in out
+        assert "total: 3" in out
+
+    def test_k_min_filter(self, graph_file, capsys):
+        assert main(["enumerate", graph_file, "--k-min", "3"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == ["0 1 2", "3 4 5"]
+
+
+class TestMaxClique:
+    def test_reports_size_and_members(self, graph_file, capsys):
+        assert main(["maxclique", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("size 3:")
+
+
+class TestStats:
+    def test_summary_fields(self, graph_file, capsys):
+        assert main(["stats", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices:            6" in out
+        assert "edges:               7" in out
+        assert "triangles:           2" in out
+
+
+class TestConvert:
+    def test_json_to_dimacs(self, graph_file, tmp_path, capsys):
+        out_path = tmp_path / "g.dimacs"
+        assert main(["convert", graph_file, str(out_path)]) == 0
+        g = graph_io.read_dimacs(out_path)
+        assert g.n == 6
+        assert g.m == 7
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent/g.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_format(self, tmp_path, capsys):
+        bad = tmp_path / "g.xyz"
+        bad.write_text("junk")
+        assert main(["stats", str(bad)]) == 1
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
