@@ -1,0 +1,62 @@
+"""Backend shoot-out: every registered engine on one workload.
+
+The paper's whole argument in one benchmark table — the identical
+level-wise algorithm on interchangeable substrates, timed through the
+unified :mod:`repro.engine` API.  Extra-info records the per-backend
+evidence: operation counts (identical across sequential substrates by
+construction), disk traffic for ``ooc``, transfers for ``multiprocess``.
+
+Run with the same harness as the other ``bench_*`` scripts (the
+``bench_*`` naming needs explicit collection overrides)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engines.py \
+        -o python_files='bench_*.py' -o python_functions='bench_*' \
+        --benchmark-json=engines.json
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EnumerationConfig, EnumerationEngine
+
+ENGINE = EnumerationEngine()
+
+
+def _run(graph, backend, **kw):
+    return ENGINE.run(
+        graph, EnumerationConfig(backend=backend, k_min=3, **kw)
+    )
+
+
+def bench_engine_incore(benchmark, myogenic):
+    """In-core backend (the paper's contribution) on the myogenic graph."""
+    res = benchmark(lambda: _run(myogenic.graph, "incore"))
+    benchmark.extra_info["n_cliques"] = len(res.cliques)
+    benchmark.extra_info["pair_checks"] = res.counters.pair_checks
+
+
+def bench_engine_bitscan(benchmark, myogenic):
+    """Rejected n-bit-scan generation through the same API."""
+    res = benchmark(lambda: _run(myogenic.graph, "bitscan"))
+    benchmark.extra_info["n_cliques"] = len(res.cliques)
+    benchmark.extra_info["bits_scanned"] = res.counters.extra.get(
+        "bits_scanned", 0
+    )
+
+
+def bench_engine_ooc(benchmark, myogenic):
+    """Disk-spilled backend; extra-info shows the avoided I/O."""
+    res = benchmark(lambda: _run(myogenic.graph, "ooc"))
+    benchmark.extra_info["n_cliques"] = len(res.cliques)
+    benchmark.extra_info["bytes_written"] = res.io.bytes_written
+    benchmark.extra_info["bytes_read"] = res.io.bytes_read
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def bench_engine_multiprocess(benchmark, myogenic, jobs):
+    """Process-pool backend at 1 and 2 workers."""
+    res = benchmark(lambda: _run(myogenic.graph, "multiprocess", jobs=jobs))
+    benchmark.extra_info["n_cliques"] = len(res.cliques)
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["transfers"] = res.transfers

@@ -6,21 +6,23 @@ microarray data with planted co-expression modules:
 1. generate expression (genes x conditions) with known modules,
 2. normalize, compute the Spearman rank correlation matrix,
 3. threshold to a sparse co-expression graph,
-4. enumerate maximal cliques with the Clique Enumerator,
+4. enumerate maximal cliques through the unified enumeration engine
+   (swap ``backend="incore"`` for ``"ooc"`` or ``"multiprocess"`` to
+   change the substrate without touching the pipeline),
 5. check that the planted modules are recovered as cliques, and extend
    the largest one to a paraclique.
 
 Run:  python examples/gene_coexpression.py
 """
 
-from repro.bio.coexpression import coexpression_pipeline
+from repro.bio.coexpression import coexpression_cliques
 from repro.bio.expression import ModuleSpec, synthetic_expression
 from repro.bio.threshold_selection import select_threshold, threshold_sweep
-from repro.core.clique_enumerator import enumerate_maximal_cliques
 from repro.core.decomposition import paraclique_decomposition
 from repro.core.maximum_clique import maximum_clique
 from repro.core.memory_model import memory_profile
 from repro.core.paraclique import paraclique, subgraph_density
+from repro.engine import EnumerationConfig
 
 
 def main() -> None:
@@ -40,17 +42,21 @@ def main() -> None:
         f"{len(dataset.modules)} planted modules"
     )
 
-    # --- normalization -> Spearman -> threshold -> graph ----------------
-    res = coexpression_pipeline(dataset, target_density=0.002)
+    # --- normalization -> Spearman -> threshold -> graph -> cliques -----
+    res, enum = coexpression_cliques(
+        dataset,
+        target_density=0.002,
+        config=EnumerationConfig(backend="incore", k_min=4),
+    )
     g = res.graph
     print(
         f"co-expression graph: {g} "
         f"(|r| >= {res.threshold:.3f}, {res.method})"
     )
-
-    # --- clique enumeration ---------------------------------------------
-    enum = enumerate_maximal_cliques(g, k_min=4)
-    print(f"maximal cliques of size >= 4: {len(enum.cliques)}")
+    print(
+        f"maximal cliques of size >= 4: {len(enum.cliques)} "
+        f"(backend={enum.backend}, {enum.wall_seconds:.2f}s)"
+    )
     by_size = enum.by_size()
     for size in sorted(by_size):
         print(f"  size {size}: {len(by_size[size])}")

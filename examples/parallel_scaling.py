@@ -6,19 +6,20 @@ Demonstrates both halves of the parallel substrate:
    record the enumeration once, replay it at any processor count, and
    print the speedup/balance tables of Figures 5–8;
 2. the real ``multiprocessing`` backend executing the identical
-   level-synchronous algorithm on this machine's cores.
+   level-synchronous algorithm on this machine's cores — selected, like
+   its sequential siblings, by backend name through the unified
+   enumeration engine.
 
 Run:  python examples/parallel_scaling.py
 """
 
 import time
 
-from repro.core.clique_enumerator import enumerate_maximal_cliques
 from repro.core.generators import planted_partition
+from repro.engine import EnumerationConfig, EnumerationEngine
 from repro.parallel import (
     MachineSpec,
     absolute_speedup,
-    enumerate_maximal_cliques_mp,
     load_balance_stats,
     record_trace,
     simulate_processor_sweep,
@@ -65,21 +66,22 @@ def main() -> None:
     )
 
     print("real multiprocessing backend (partition-persistent workers):")
-    t0 = time.perf_counter()
-    seq = enumerate_maximal_cliques(g, k_min=3)
-    t_seq = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    par = enumerate_maximal_cliques_mp(g, k_min=3, n_workers=2)
-    t_par = time.perf_counter() - t0
+    engine = EnumerationEngine()
+    seq = engine.run(g, EnumerationConfig(backend="incore", k_min=3))
+    par = engine.run(
+        g, EnumerationConfig(backend="multiprocess", k_min=3, jobs=2)
+    )
 
     assert sorted(seq.cliques) == sorted(par.cliques)
-    print(f"  sequential: {t_seq:.2f}s   2 workers: {t_par:.2f}s")
+    print(
+        f"  sequential: {seq.wall_seconds:.2f}s   "
+        f"{par.n_workers} workers: {par.wall_seconds:.2f}s"
+    )
     print(
         f"  identical output ({len(seq.cliques)} maximal cliques), "
         f"{par.transfers} scheduler transfers; wall-clock ratio "
-        f"{t_seq / t_par:.2f}x against a host ceiling of "
-        f"{host_scaling:.2f}x"
+        f"{seq.wall_seconds / par.wall_seconds:.2f}x against a host "
+        f"ceiling of {host_scaling:.2f}x"
     )
 
 

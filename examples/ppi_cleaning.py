@@ -10,9 +10,14 @@ the cleaned network for protein complexes (maximal cliques).
 Run:  python examples/ppi_cleaning.py
 """
 
-from repro.bio.ppi import clean_by_voting, score_recovery, simulate_replicates
-from repro.core.clique_enumerator import enumerate_maximal_cliques
+from repro.bio.ppi import (
+    clean_by_voting,
+    interaction_modules,
+    score_recovery,
+    simulate_replicates,
+)
 from repro.core.generators import planted_partition
+from repro.engine import EnumerationConfig
 
 
 def main() -> None:
@@ -47,12 +52,13 @@ def main() -> None:
             f"recall={s.recall:.3f} f1={s.f1:.3f} edges={cleaned.m}"
         )
 
-    # complex discovery on the best cleaning
-    best = clean_by_voting(replicates, 3)
-    cliques = enumerate_maximal_cliques(best, k_min=4)
+    # complex discovery on the best cleaning, through the engine
+    best, cliques = interaction_modules(
+        replicates, 3, config=EnumerationConfig(k_min=4)
+    )
     print(
         f"\nmaximal cliques (size >= 4) in the cleaned network: "
-        f"{len(cliques.cliques)}"
+        f"{len(cliques.cliques)} (backend={cliques.backend})"
     )
     clique_sets = [set(c) for c in cliques.cliques]
     for i, cx in enumerate(complexes):

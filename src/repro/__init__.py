@@ -17,6 +17,10 @@ Subpackages
 :mod:`repro.core`
     The Clique Enumerator, baselines, maximum clique / vertex cover, and
     the bitmap data structures.
+:mod:`repro.engine`
+    The pluggable enumeration engine: a backend registry (``incore``,
+    ``bitscan``, ``ooc``, ``multiprocess``) behind one configuration
+    and result type.
 :mod:`repro.parallel`
     The simulated large-shared-memory machine (SGI Altix stand-in), the
     centralised dynamic load balancer, and a real multiprocessing backend.
@@ -50,6 +54,12 @@ from repro.core import (
     minimum_vertex_cover,
     paraclique,
 )
+from repro.engine import (
+    EnumerationConfig,
+    EnumerationEngine,
+    available_backends,
+    run_enumeration,
+)
 
 __all__ = [
     "__version__",
@@ -71,4 +81,8 @@ __all__ = [
     "maximum_clique_size",
     "minimum_vertex_cover",
     "paraclique",
+    "EnumerationConfig",
+    "EnumerationEngine",
+    "available_backends",
+    "run_enumeration",
 ]

@@ -3,7 +3,9 @@
 Chains the paper's three steps — normalization, pairwise rank correlation,
 threshold filtering — into a gene co-expression :class:`~repro.core.graph.
 Graph` whose maximal cliques are the "pure functional units" the Clique
-Enumerator extracts.
+Enumerator extracts.  :func:`coexpression_cliques` runs the full chain
+through any :mod:`repro.engine` backend, so the same pipeline scales
+from an in-memory run to disk-spilled or multiprocess enumeration.
 """
 
 from __future__ import annotations
@@ -13,7 +15,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.core.clique_enumerator import EnumerationResult
 from repro.core.graph import Graph
+from repro.engine import EnumerationConfig, run_enumeration
 from repro.bio.correlation import pearson_correlation, spearman_correlation
 from repro.bio.expression import ExpressionDataSet, zscore_normalize
 
@@ -22,6 +26,7 @@ __all__ = [
     "correlation_graph",
     "threshold_for_density",
     "coexpression_pipeline",
+    "coexpression_cliques",
 ]
 
 
@@ -118,3 +123,32 @@ def coexpression_pipeline(
     return CoexpressionResult(
         graph=graph, correlation=corr, threshold=threshold, method=method
     )
+
+
+def coexpression_cliques(
+    dataset: ExpressionDataSet,
+    threshold: float | None = None,
+    target_density: float | None = None,
+    method: str = "spearman",
+    normalize: bool = True,
+    config: EnumerationConfig | None = None,
+) -> tuple[CoexpressionResult, EnumerationResult]:
+    """The full Section 3 workload: expression in, functional units out.
+
+    Runs :func:`coexpression_pipeline`, then enumerates the graph's
+    maximal cliques through the :mod:`repro.engine` backend named in
+    ``config`` (default: ``"incore"`` from size 3 — the paper's gene
+    modules are at least triangles).  Returns the pipeline result and
+    the canonical enumeration result.
+    """
+    pipeline = coexpression_pipeline(
+        dataset,
+        threshold=threshold,
+        target_density=target_density,
+        method=method,
+        normalize=normalize,
+    )
+    if config is None:
+        config = EnumerationConfig(k_min=3)
+    cliques = run_enumeration(pipeline.graph, config)
+    return pipeline, cliques

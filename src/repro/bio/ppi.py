@@ -21,13 +21,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.core.clique_enumerator import EnumerationResult
 from repro.core.graph import Graph
 from repro.core.graph_ops import at_least_k_of_n
+from repro.engine import EnumerationConfig, run_enumeration
 
 __all__ = [
     "observe_with_noise",
     "simulate_replicates",
     "clean_by_voting",
+    "interaction_modules",
     "RecoveryScore",
     "score_recovery",
 ]
@@ -83,6 +86,26 @@ def clean_by_voting(observations: list[Graph], k: int) -> Graph:
     on the bit-adjacency matrices.
     """
     return at_least_k_of_n(observations, k)
+
+
+def interaction_modules(
+    observations: list[Graph],
+    k: int,
+    config: EnumerationConfig | None = None,
+) -> tuple[Graph, EnumerationResult]:
+    """Clean replicates by voting, then extract the protein complexes.
+
+    The paper's two-step PPI workflow in one call: the Boolean
+    at-least-``k``-of-n query refines the noisy observations, and the
+    Clique Enumerator — on whichever :mod:`repro.engine` backend
+    ``config`` names (default: ``"incore"`` from size 3) — extracts the
+    densely interacting modules from the cleaned network.  Returns the
+    cleaned graph and the canonical enumeration result.
+    """
+    cleaned = clean_by_voting(observations, k)
+    if config is None:
+        config = EnumerationConfig(k_min=3)
+    return cleaned, run_enumeration(cleaned, config)
 
 
 @dataclass(frozen=True)

@@ -2,14 +2,18 @@
 
 Usage::
 
-    python -m repro.cli enumerate GRAPH [--k-min K] [--k-max K] [--count]
+    python -m repro.cli enumerate GRAPH [--backend NAME] [--jobs N]
+                                  [--k-min K] [--k-max K] [--count]
+    python -m repro.cli engines
     python -m repro.cli maxclique GRAPH
     python -m repro.cli stats GRAPH
     python -m repro.cli convert GRAPH OUTPUT
 
 ``GRAPH`` is any file readable by :mod:`repro.core.graph_io` (DIMACS
 ``.dimacs``/``.clq``, edge list ``.edges``/``.txt``, JSON ``.json``);
-``convert`` rewrites between formats by extension.
+``convert`` rewrites between formats by extension.  ``enumerate`` runs
+on any registered :mod:`repro.engine` backend (``engines`` lists them);
+all backends print identical cliques.
 """
 
 from __future__ import annotations
@@ -18,9 +22,14 @@ import argparse
 import sys
 
 from repro.core import graph_io
-from repro.core.clique_enumerator import enumerate_maximal_cliques
 from repro.core.maximum_clique import maximum_clique
 from repro.core.stats import summarize
+from repro.engine import (
+    EnumerationConfig,
+    EnumerationEngine,
+    available_backends,
+    backend_table,
+)
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -42,6 +51,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_enum.add_argument("graph", help="input graph file")
     p_enum.add_argument(
+        "--backend",
+        default="incore",
+        choices=available_backends(),
+        metavar="NAME",
+        help=(
+            "execution backend (see the 'engines' subcommand; default: "
+            "incore; choices: %(choices)s)"
+        ),
+    )
+    p_enum.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for parallel backends (default: cpu count)",
+    )
+    p_enum.add_argument(
         "--k-min", type=int, default=1, help="minimum clique size (Init_K)"
     )
     p_enum.add_argument(
@@ -51,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--count",
         action="store_true",
         help="print only per-size counts, not the cliques",
+    )
+
+    sub.add_parser(
+        "engines", help="list the registered enumeration backends"
     )
 
     p_max = sub.add_parser("maxclique", help="exact maximum clique")
@@ -69,9 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_enumerate(args) -> int:
     g = graph_io.load(args.graph)
-    result = enumerate_maximal_cliques(
-        g, k_min=args.k_min, k_max=args.k_max
+    config = EnumerationConfig(
+        backend=args.backend,
+        k_min=args.k_min,
+        k_max=args.k_max,
+        jobs=args.jobs,
     )
+    result = EnumerationEngine().run(g, config)
     if args.count:
         for size, group in sorted(result.by_size().items()):
             print(f"size {size}: {len(group)}")
@@ -79,6 +113,23 @@ def _cmd_enumerate(args) -> int:
     else:
         for clique in result.cliques:
             print(" ".join(map(str, clique)))
+    return 0
+
+
+def _cmd_engines(args) -> int:
+    rows = [
+        (
+            info.name,
+            info.storage,
+            "yes" if info.parallel else "no",
+            info.description,
+        )
+        for info in backend_table()
+    ]
+    name_w = max(len(r[0]) for r in rows)
+    print(f"{'backend':<{name_w}}  storage  parallel  description")
+    for name, storage, parallel, desc in rows:
+        print(f"{name:<{name_w}}  {storage:<7}  {parallel:<8}  {desc}")
     return 0
 
 
@@ -113,6 +164,7 @@ def _cmd_convert(args) -> int:
 
 _COMMANDS = {
     "enumerate": _cmd_enumerate,
+    "engines": _cmd_engines,
     "maxclique": _cmd_maxclique,
     "stats": _cmd_stats,
     "convert": _cmd_convert,

@@ -41,9 +41,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import BudgetExceeded, ParameterError
+from repro.errors import ParameterError
 from repro.core import bitset as bs
-from repro.core.counters import OpCounters
+from repro.core.counters import IOStats, OpCounters
 from repro.core.graph import Graph
 from repro.core.kclique import enumerate_k_cliques
 from repro.core.sublist import CliqueSubList
@@ -51,6 +51,7 @@ from repro.core.sublist import CliqueSubList
 __all__ = [
     "LevelStats",
     "EnumerationResult",
+    "paper_formula_bytes",
     "generate_next_level",
     "generate_next_level_bitscan",
     "build_initial_sublists",
@@ -93,8 +94,8 @@ class LevelStats:
     paper_formula_bytes: int
 
 
-def _paper_formula_bytes(k: int, n_sublists: int, n_candidates: int,
-                         n_vertices: int) -> int:
+def paper_formula_bytes(k: int, n_sublists: int, n_candidates: int,
+                        n_vertices: int) -> int:
     """The paper's Section 2.3 space estimate for level ``k``."""
     bitstring = bs.n_words(n_vertices) * 8
     return (
@@ -104,26 +105,12 @@ def _paper_formula_bytes(k: int, n_sublists: int, n_candidates: int,
     )
 
 
-def _measure_level(k: int, sublists: list[CliqueSubList], maximal: int,
-                   n_vertices: int) -> LevelStats:
-    n_cand = sum(len(sl) for sl in sublists)
-    return LevelStats(
-        k=k,
-        n_sublists=len(sublists),
-        n_candidates=n_cand,
-        maximal_emitted=maximal,
-        candidate_bytes=sum(
-            sl.nbytes(INDEX_BYTES, POINTER_BYTES) for sl in sublists
-        ),
-        paper_formula_bytes=_paper_formula_bytes(
-            k, len(sublists), n_cand, n_vertices
-        ),
-    )
-
-
 @dataclass
 class EnumerationResult:
-    """Everything the Clique Enumerator produced.
+    """The canonical result of one enumeration run, whatever the backend.
+
+    Every registered :mod:`repro.engine` backend returns this type, so
+    callers can switch substrates without touching their result handling.
 
     Attributes
     ----------
@@ -132,13 +119,27 @@ class EnumerationResult:
         non-decreasing size, canonical within a size.  Empty when a
         callback consumed them instead.
     level_stats:
-        One :class:`LevelStats` per candidate level processed.
+        One :class:`LevelStats` per candidate level processed (empty for
+        backends that do not track levels centrally, e.g. multiprocess).
     counters:
         Operation counts (feed the parallel machine model).
     completed:
         False when stopped early by ``k_max`` with candidates remaining.
     k_min, k_max:
         The requested size range.
+    backend:
+        Registry name of the backend that produced this result.
+    io:
+        Disk traffic of the run, for disk-backed substrates; ``None``
+        for purely in-memory backends.
+    wall_seconds:
+        Wall-clock duration of the run as measured by the engine facade
+        (0.0 when the backend was invoked directly).
+    n_workers:
+        Worker processes used (1 for sequential substrates).
+    transfers:
+        Sub-lists relayed between workers by the load-balancing
+        scheduler (0 for sequential substrates).
     """
 
     cliques: list[tuple[int, ...]] = field(default_factory=list)
@@ -147,6 +148,16 @@ class EnumerationResult:
     completed: bool = True
     k_min: int = 1
     k_max: int | None = None
+    backend: str = "incore"
+    io: IOStats | None = None
+    wall_seconds: float = 0.0
+    n_workers: int = 1
+    transfers: int = 0
+
+    @property
+    def levels(self) -> int:
+        """Highest candidate level reached (mirrors ``counters.levels``)."""
+        return self.counters.levels
 
     def by_size(self) -> dict[int, list[tuple[int, ...]]]:
         """Group the collected cliques by size."""
@@ -390,7 +401,7 @@ def build_sublists_from_k_cliques(
 
 
 # ---------------------------------------------------------------------------
-# Driver
+# Driver (compatibility shim over the engine layer)
 # ---------------------------------------------------------------------------
 
 def enumerate_maximal_cliques(
@@ -402,6 +413,12 @@ def enumerate_maximal_cliques(
     max_candidate_bytes: int | None = None,
 ) -> EnumerationResult:
     """Enumerate all maximal cliques with sizes in ``[k_min, k_max]``.
+
+    This is the historical entry point, now a thin shim over the
+    ``"incore"`` backend of :mod:`repro.engine` — the unified driver that
+    also powers the bit-scan, out-of-core, and multiprocess substrates.
+    Prefer :class:`repro.engine.EnumerationEngine` for new code; this
+    function remains for the paper-faithful sequential algorithm.
 
     Parameters
     ----------
@@ -438,85 +455,16 @@ def enumerate_maximal_cliques(
     >>> sorted(res.cliques)
     [(0, 1, 2), (2, 3), (3, 4, 5)]
     """
-    if k_min < 1:
-        raise ParameterError(f"k_min must be >= 1, got {k_min}")
-    if k_max is not None and k_max < k_min:
-        raise ParameterError(
-            f"k_max ({k_max}) must be >= k_min ({k_min})"
-        )
-    counters = OpCounters()
-    result = EnumerationResult(
-        counters=counters, k_min=k_min, k_max=k_max
+    from repro.engine import EnumerationConfig, run_enumeration
+
+    config = EnumerationConfig(
+        backend="incore",
+        k_min=k_min,
+        k_max=k_max,
+        max_cliques=max_cliques,
+        max_candidate_bytes=max_candidate_bytes,
     )
-    emitted = 0
-    current_level = k_min
-
-    def emit(clique: tuple[int, ...]) -> None:
-        nonlocal emitted
-        emitted += 1
-        if max_cliques is not None and emitted > max_cliques:
-            raise BudgetExceeded(
-                f"clique budget {max_cliques} exceeded",
-                emitted=emitted - 1,
-                level=current_level,
-            )
-        if on_clique is not None:
-            on_clique(clique)
-        else:
-            result.cliques.append(clique)
-
-    # ---- seeding -----------------------------------------------------
-    if k_min <= 2:
-        if k_min == 1:
-            for v in range(g.n):
-                if g.degree(v) == 0:
-                    counters.maximal_emitted += 1
-                    emit((v,))
-        sublists = build_initial_sublists(
-            g, counters, emit, emit_maximal_edges=True
-        )
-        k = 2
-    else:
-        # enumerate_k_cliques counts its maximal cliques in `counters`;
-        # here they only need to be routed to the sink.
-        kres = enumerate_k_cliques(g, k_min, counters)
-        for clique in kres.maximal:
-            emit(clique)
-        sublists = build_sublists_from_k_cliques(
-            g, k_min, kres.non_maximal, counters
-        )
-        k = k_min
-
-    result.level_stats.append(
-        _measure_level(k, sublists, counters.maximal_emitted, g.n)
-    )
-    counters.levels = k
-
-    # ---- level loop ---------------------------------------------------
-    while sublists and (k_max is None or k < k_max):
-        if max_candidate_bytes is not None:
-            level_bytes = sum(
-                sl.nbytes(INDEX_BYTES, POINTER_BYTES) for sl in sublists
-            )
-            if level_bytes > max_candidate_bytes:
-                raise BudgetExceeded(
-                    f"candidate memory {level_bytes} exceeds budget "
-                    f"{max_candidate_bytes} at level {k}",
-                    emitted=emitted,
-                    level=k,
-                )
-        before = counters.maximal_emitted
-        current_level = k + 1
-        sublists = generate_next_level(sublists, g, counters, emit)
-        k += 1
-        counters.levels = k
-        result.level_stats.append(
-            _measure_level(
-                k, sublists, counters.maximal_emitted - before, g.n
-            )
-        )
-    result.completed = not sublists
-    return result
+    return run_enumeration(g, config, on_clique=on_clique)
 
 
 # ---------------------------------------------------------------------------

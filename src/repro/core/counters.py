@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["OpCounters"]
+__all__ = ["OpCounters", "IOStats"]
 
 
 @dataclass
@@ -66,6 +66,31 @@ class OpCounters:
         out.update(self.extra)
         return out
 
+    #: canonical integer fields a snapshot can be folded back into.
+    _FIELDS = (
+        "bit_and_ops",
+        "bit_exist_checks",
+        "pair_checks",
+        "cliques_generated",
+        "maximal_emitted",
+        "sublists_created",
+    )
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` dict back into this counter set.
+
+        Canonical fields add into their attributes (so cross-process
+        reductions stay comparable with in-process counters); unknown
+        keys accumulate in ``extra``; ``levels`` takes the maximum.
+        """
+        for key, val in snap.items():
+            if key == "levels":
+                self.levels = max(self.levels, val)
+            elif key in self._FIELDS:
+                setattr(self, key, getattr(self, key) + val)
+            else:
+                self.extra[key] = self.extra.get(key, 0) + val
+
     def total_work(self) -> int:
         """Scalar work measure used by the machine model.
 
@@ -91,3 +116,23 @@ class OpCounters:
         self.sublists_created = 0
         self.levels = 0
         self.extra.clear()
+
+
+@dataclass
+class IOStats:
+    """Disk traffic accounting for a disk-backed enumeration run.
+
+    Shared by every :class:`~repro.core.out_of_core.DiskLevelStore` of one
+    run, so ``total_bytes`` is the run's full spill-and-stream volume —
+    the quantity the paper's in-core algorithm exists to avoid.
+    """
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    write_ops: int = 0
+    read_ops: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Written plus read bytes."""
+        return self.bytes_written + self.bytes_read

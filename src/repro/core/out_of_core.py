@@ -6,52 +6,40 @@ one week of execution ... Intensive disk I/O access has been the major
 bottleneck."  The in-memory Clique Enumerator on a large shared-memory
 machine is the paper's answer.
 
-This module rebuilds the out-of-core mode so the comparison is
+This module provides the disk-backed level store so the comparison is
 measurable: a :class:`DiskLevelStore` spills each level's candidate
 sub-lists to disk and streams them back for expansion, touching memory
 with only one read-chunk at a time.  Every byte written/read is counted,
-so the ablation benchmark (``benchmarks/bench_ablations_ooc.py``) can
-show the I/O volume that the in-core algorithm avoids.
+so the ablation report and ``benchmarks/bench_engines.py`` can show the
+I/O volume that the in-core algorithm avoids.
 
 The enumeration logic is the unmodified
 :func:`~repro.core.clique_enumerator.generate_next_level`; only the
 storage layer changes — exactly the framing of the paper's argument.
+The level loop itself lives in :mod:`repro.engine.level_loop`;
+:func:`enumerate_maximal_cliques_ooc` is a compatibility shim over the
+engine's ``"ooc"`` backend.
 """
 
 from __future__ import annotations
 
+import itertools
 import pickle
 import tempfile
 from collections.abc import Callable, Iterator
-from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ParameterError
 from repro.core.clique_enumerator import (
-    build_initial_sublists,
-    build_sublists_from_k_cliques,
-    generate_next_level,
+    INDEX_BYTES,
+    POINTER_BYTES,
+    EnumerationResult,
 )
-from repro.core.counters import OpCounters
+from repro.core.counters import IOStats
 from repro.core.graph import Graph
-from repro.core.kclique import enumerate_k_cliques
 from repro.core.sublist import CliqueSubList
 
 __all__ = ["IOStats", "DiskLevelStore", "enumerate_maximal_cliques_ooc"]
-
-
-@dataclass
-class IOStats:
-    """Disk traffic accounting for one out-of-core run."""
-
-    bytes_written: int = 0
-    bytes_read: int = 0
-    write_ops: int = 0
-    read_ops: int = 0
-
-    @property
-    def total_bytes(self) -> int:
-        return self.bytes_written + self.bytes_read
 
 
 class DiskLevelStore:
@@ -61,13 +49,23 @@ class DiskLevelStore:
     insertion order exactly once.  The store is single-pass by design —
     the level-wise algorithm never revisits a consumed level.
 
+    Implements the :class:`repro.engine.level_store.LevelStore` interface
+    (including the ``n_sublists`` / ``n_candidates`` / ``candidate_bytes``
+    accounting the unified level loop reads for per-level statistics and
+    memory budgets).
+
     Parameters
     ----------
     directory: where the spill file lives (a temp dir when omitted).
+        Each store gets a unique spill filename, so consecutive levels
+        can safely share one directory (the writer of level k+1 must
+        not truncate the file level k is still streaming from).
     chunk_size: sub-lists per pickle record (amortises the per-record
         overhead that killed the original out-of-core implementation).
     stats: shared I/O counter, updated on every operation.
     """
+
+    _seq = itertools.count()
 
     def __init__(
         self,
@@ -94,9 +92,30 @@ class DiskLevelStore:
         self._write_buffer: list[CliqueSubList] = []
         self._fh = None
         self._count = 0
+        self._n_candidates = 0
+        self._candidate_bytes = 0
 
     def __len__(self) -> int:
         return self._count
+
+    @property
+    def n_sublists(self) -> int:
+        """Number of stored sub-lists (the paper's ``N[k]``)."""
+        return self._count
+
+    @property
+    def n_candidates(self) -> int:
+        """Total candidate cliques stored (the paper's ``M[k]``)."""
+        return self._n_candidates
+
+    @property
+    def candidate_bytes(self) -> int:
+        """Measured bytes of the stored sub-lists (as if held in memory).
+
+        This is the *algorithmic* candidate footprint, comparable across
+        storage substrates; the actual disk traffic is in :attr:`stats`.
+        """
+        return self._candidate_bytes
 
     # -- writing ------------------------------------------------------------
 
@@ -104,12 +123,16 @@ class DiskLevelStore:
         """Queue one sub-list; flushes a chunk when the buffer fills."""
         self._write_buffer.append(sl)
         self._count += 1
+        self._n_candidates += len(sl)
+        self._candidate_bytes += sl.nbytes(INDEX_BYTES, POINTER_BYTES)
         if len(self._write_buffer) >= self.chunk_size:
             self._flush()
 
     def _ensure_open(self):
         if self._fh is None:
-            self._path = self.directory / "level.spill"
+            self._path = (
+                self.directory / f"level-{next(self._seq)}.spill"
+            )
             self._fh = self._path.open("wb")
         return self._fh
 
@@ -153,10 +176,13 @@ class DiskLevelStore:
         self._path = None
 
     def close(self) -> None:
-        """Release the backing directory (temp dirs are removed)."""
+        """Release backing storage: spill file and temp dir removed."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+        if self._path is not None:
+            self._path.unlink(missing_ok=True)
+            self._path = None
         if self._tmp is not None:
             self._tmp.cleanup()
             self._tmp = None
@@ -168,16 +194,6 @@ class DiskLevelStore:
         self.close()
 
 
-@dataclass
-class OocResult:
-    """Output of :func:`enumerate_maximal_cliques_ooc`."""
-
-    cliques: list[tuple[int, ...]] = field(default_factory=list)
-    io: IOStats = field(default_factory=IOStats)
-    counters: OpCounters = field(default_factory=OpCounters)
-    levels: int = 0
-
-
 def enumerate_maximal_cliques_ooc(
     g: Graph,
     k_min: int = 2,
@@ -185,50 +201,26 @@ def enumerate_maximal_cliques_ooc(
     directory: str | Path | None = None,
     chunk_size: int = 256,
     on_clique: Callable[[tuple[int, ...]], None] | None = None,
-) -> OocResult:
+) -> EnumerationResult:
     """Out-of-core Clique Enumerator: candidates live on disk.
 
+    Compatibility shim over the ``"ooc"`` backend of :mod:`repro.engine`.
     Identical output to the in-core driver with the same bounds; every
-    level is spilled and re-read once, and :class:`IOStats` records the
-    traffic.  ``k_min`` below 2 is promoted to 2.
+    level is spilled and re-read once, and the result's ``io`` field
+    (an :class:`IOStats`) records the traffic.  ``k_min`` below 2 is
+    promoted to 2.
     """
-    k_min = max(2, k_min)
-    if k_max is not None and k_max < k_min:
-        raise ParameterError(f"k_max ({k_max}) must be >= k_min ({k_min})")
-    result = OocResult()
-    counters = result.counters
-    emit = on_clique if on_clique is not None else result.cliques.append
-
-    if k_min == 2:
-        seed = build_initial_sublists(
-            g, counters, emit, emit_maximal_edges=True
+    if k_max is not None and k_max < max(2, k_min):
+        raise ParameterError(
+            f"k_max ({k_max}) must be >= the effective k_min "
+            f"({max(2, k_min)}; values below 2 are promoted)"
         )
-    else:
-        kres = enumerate_k_cliques(g, k_min, counters)
-        for clique in kres.maximal:
-            emit(clique)
-        seed = build_sublists_from_k_cliques(
-            g, k_min, kres.non_maximal, counters
-        )
+    from repro.engine import EnumerationConfig, run_enumeration
 
-    store = DiskLevelStore(directory, chunk_size, result.io)
-    try:
-        for sl in seed:
-            store.append(sl)
-        k = k_min
-        while len(store) and (k_max is None or k < k_max):
-            next_store = DiskLevelStore(
-                directory, chunk_size, result.io
-            )
-            for chunk in store.stream():
-                for child in generate_next_level(
-                    chunk, g, counters, emit
-                ):
-                    next_store.append(child)
-            store.close()
-            store = next_store
-            k += 1
-        result.levels = k
-    finally:
-        store.close()
-    return result
+    config = EnumerationConfig(
+        backend="ooc",
+        k_min=max(2, k_min),
+        k_max=k_max,
+        options={"directory": directory, "chunk_size": chunk_size},
+    )
+    return run_enumeration(g, config, on_clique=on_clique)

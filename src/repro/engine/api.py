@@ -1,0 +1,103 @@
+"""The :class:`EnumerationEngine` facade — one door to every substrate.
+
+Resolve a named backend from the registry, run it, time it, and hand
+back the canonical result::
+
+    from repro.engine import EnumerationConfig, EnumerationEngine
+
+    engine = EnumerationEngine()
+    result = engine.run(g, EnumerationConfig(backend="ooc", k_min=3))
+    print(result.backend, result.wall_seconds, result.io.total_bytes)
+
+:func:`run_enumeration` is the function-style shorthand the legacy
+drivers shim through.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import replace
+
+from repro.core.clique_enumerator import EnumerationResult
+from repro.core.graph import Graph
+from repro.engine.config import EnumerationConfig
+from repro.engine.registry import (
+    BackendInfo,
+    available_backends,
+    backend_table,
+    get_backend,
+)
+
+__all__ = ["EnumerationEngine", "run_enumeration"]
+
+
+class EnumerationEngine:
+    """Facade dispatching enumeration runs to registered backends.
+
+    An engine optionally carries a default :class:`EnumerationConfig`;
+    per-call configs override it.  The engine is stateless between runs
+    — it exists so callers hold one object with one ``run`` method
+    instead of four driver imports.
+    """
+
+    def __init__(self, config: EnumerationConfig | None = None):
+        self.config = config if config is not None else EnumerationConfig()
+
+    def run(
+        self,
+        g: Graph,
+        config: EnumerationConfig | None = None,
+        on_clique: Callable[[tuple[int, ...]], None] | None = None,
+    ) -> EnumerationResult:
+        """Run one enumeration through the configured backend.
+
+        Parameters
+        ----------
+        g:
+            Input graph.
+        config:
+            Run configuration; falls back to the engine's default.
+        on_clique:
+            Optional streaming sink; when given, cliques are not
+            collected in the result.
+
+        Returns
+        -------
+        EnumerationResult
+            The canonical result, with ``backend`` and ``wall_seconds``
+            filled in.
+
+        Notes
+        -----
+        A ``k_min`` below the backend's registered ``min_k_min`` is
+        promoted before dispatch (every built-in supports 1, so this
+        only affects third-party backends that declare a floor).
+        """
+        cfg = config if config is not None else self.config
+        info = get_backend(cfg.backend)
+        if cfg.k_min < info.min_k_min:
+            cfg = replace(cfg, k_min=info.min_k_min)
+        t0 = time.perf_counter()
+        result = info.runner(g, cfg, on_clique)
+        result.wall_seconds = time.perf_counter() - t0
+        return result
+
+    @staticmethod
+    def backends() -> list[str]:
+        """Names of every registered backend."""
+        return available_backends()
+
+    @staticmethod
+    def describe() -> list[BackendInfo]:
+        """Full registry entries (for ``repro engines`` and docs)."""
+        return backend_table()
+
+
+def run_enumeration(
+    g: Graph,
+    config: EnumerationConfig | None = None,
+    on_clique: Callable[[tuple[int, ...]], None] | None = None,
+) -> EnumerationResult:
+    """Function-style shorthand for ``EnumerationEngine().run(...)``."""
+    return EnumerationEngine().run(g, config, on_clique)

@@ -1,0 +1,202 @@
+"""The built-in execution backends.
+
+Each backend is ~30 lines of substrate policy over the shared loop in
+:mod:`repro.engine.level_loop` (or, for ``"multiprocess"``, over the
+partition-persistent worker pool in :mod:`repro.parallel.mp_backend`):
+
+* ``"incore"`` — the paper's contribution: candidates in RAM, tail-list
+  pair generation (Figure 3);
+* ``"bitscan"`` — same storage, the paper's *rejected* n-bit-scan
+  generation, kept runnable for the ablation;
+* ``"ooc"`` — the retired predecessor: candidates spill to disk per
+  level, I/O counted;
+* ``"multiprocess"`` — the shared-memory parallel machine's
+  process-based analogue: persistent worker partitions plus the
+  centralised load-balancing scheduler.
+
+All four return the same canonical
+:class:`~repro.core.clique_enumerator.EnumerationResult` and emit
+identical clique sets for identical bounds — the invariant
+``tests/engine/test_equivalence.py`` enforces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import replace
+
+from repro.errors import ParameterError
+from repro.core.clique_enumerator import (
+    EnumerationResult,
+    generate_next_level,
+    generate_next_level_bitscan,
+)
+from repro.core.counters import IOStats
+from repro.core.graph import Graph
+from repro.core.out_of_core import DiskLevelStore
+from repro.engine.config import EnumerationConfig
+from repro.engine.level_loop import make_emitter, run_level_loop
+from repro.engine.level_store import MemoryLevelStore
+from repro.engine.registry import register_backend
+
+__all__ = [
+    "run_incore",
+    "run_bitscan",
+    "run_ooc",
+    "run_multiprocess",
+]
+
+OnClique = Callable[[tuple[int, ...]], None] | None
+
+
+def _reject_unknown_options(config: EnumerationConfig, known: set[str]):
+    unknown = set(config.options) - known
+    if unknown:
+        raise ParameterError(
+            f"backend {config.backend!r} does not understand option(s) "
+            f"{', '.join(sorted(unknown))}; known: "
+            f"{', '.join(sorted(known)) or '(none)'}"
+        )
+
+
+def _reject_jobs(config: EnumerationConfig):
+    if config.jobs is not None:
+        raise ParameterError(
+            f"backend {config.backend!r} is sequential; jobs is only "
+            "valid for parallel backends (see `repro engines`)"
+        )
+
+
+@register_backend(
+    "incore",
+    description="in-memory candidates, tail-list generation (the paper)",
+    storage="memory",
+)
+def run_incore(
+    g: Graph, config: EnumerationConfig, on_clique: OnClique = None
+) -> EnumerationResult:
+    """The paper's in-core Clique Enumerator on the unified loop."""
+    _reject_unknown_options(config, set())
+    _reject_jobs(config)
+    return run_level_loop(
+        g,
+        config,
+        on_clique,
+        step=generate_next_level,
+        store_factory=MemoryLevelStore,
+        backend="incore",
+    )
+
+
+@register_backend(
+    "bitscan",
+    description="in-memory candidates, rejected n-bit-scan generation "
+    "(ablation)",
+    storage="memory",
+)
+def run_bitscan(
+    g: Graph, config: EnumerationConfig, on_clique: OnClique = None
+) -> EnumerationResult:
+    """The Section 2.3 bit-scan generation variant on the unified loop."""
+    _reject_unknown_options(config, set())
+    _reject_jobs(config)
+    return run_level_loop(
+        g,
+        config,
+        on_clique,
+        step=generate_next_level_bitscan,
+        store_factory=MemoryLevelStore,
+        backend="bitscan",
+    )
+
+
+@register_backend(
+    "ooc",
+    description="disk-spilled candidates per level, I/O counted "
+    "(the retired out-of-core mode)",
+    storage="disk",
+)
+def run_ooc(
+    g: Graph, config: EnumerationConfig, on_clique: OnClique = None
+) -> EnumerationResult:
+    """The out-of-core substrate: every level spilled and re-read once."""
+    _reject_unknown_options(config, {"directory", "chunk_size"})
+    _reject_jobs(config)
+    directory = config.option("directory")
+    chunk_size = config.option("chunk_size", 256)
+    io = IOStats()
+    return run_level_loop(
+        g,
+        config,
+        on_clique,
+        step=generate_next_level,
+        store_factory=lambda: DiskLevelStore(directory, chunk_size, io),
+        backend="ooc",
+        io=io,
+    )
+
+
+@register_backend(
+    "multiprocess",
+    description="partition-persistent worker processes with centralised "
+    "load balancing",
+    storage="memory",
+    parallel=True,
+)
+def run_multiprocess(
+    g: Graph, config: EnumerationConfig, on_clique: OnClique = None
+) -> EnumerationResult:
+    """The process-pool substrate, adapted to the canonical result type.
+
+    Workers own persistent sub-list partitions (the paper's thread-local
+    memory); the parent relays sub-lists between them when the estimated
+    load gap crosses ``rel_tolerance``.  Cliques are canonically sorted
+    within each level, so output order matches the sequential backends.
+    Isolated vertices (``k_min == 1``) are emitted in the parent — they
+    carry no parallel work — before the pool starts at level 2.
+
+    The ``max_cliques`` budget is enforced while replaying the pool's
+    output through the shared emitter, i.e. *after* the distributed
+    enumeration has finished — unlike the sequential substrates it
+    bounds the returned output, not the work in flight.
+    """
+    from repro.parallel.mp_backend import enumerate_maximal_cliques_mp
+
+    _reject_unknown_options(config, {"rel_tolerance"})
+    if config.k_max is not None and config.k_max < 2:
+        # no parallel work exists below level 2; the sequential loop is
+        # the exact semantics (isolated vertices, completed flag) —
+        # minus the multiprocess-only knobs it would not understand
+        result = run_incore(
+            g, replace(config, options={}, jobs=None), on_clique
+        )
+        result.backend = "multiprocess"
+        return result
+    result = EnumerationResult(
+        k_min=config.k_min,
+        k_max=config.k_max,
+        backend="multiprocess",
+    )
+    level = [config.k_min]
+    emit = make_emitter(result, config, on_clique, lambda: level[0])
+    if config.k_min == 1:
+        for v in range(g.n):
+            if g.degree(v) == 0:
+                result.counters.maximal_emitted += 1
+                emit((v,))
+    mp_res = enumerate_maximal_cliques_mp(
+        g,
+        k_min=max(2, config.k_min),
+        k_max=config.k_max,
+        n_workers=config.jobs,
+        rel_tolerance=config.option("rel_tolerance", 0.20),
+    )
+    result.counters.merge(mp_res.counters)
+    result.counters.levels = max(result.counters.levels, mp_res.levels)
+    result.n_workers = mp_res.n_workers
+    result.transfers = mp_res.transfers
+    result.completed = mp_res.exhausted
+    for clique in mp_res.cliques:
+        level[0] = len(clique)
+        emit(clique)
+    return result

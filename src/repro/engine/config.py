@@ -1,0 +1,117 @@
+"""Unified run configuration for every enumeration backend.
+
+One :class:`EnumerationConfig` describes a run completely: the size
+window (the paper's ``Init_K`` and the optional upper bound), the safety
+budgets, the backend name resolved through
+:mod:`repro.engine.registry`, and a free-form ``options`` mapping for
+backend-specific knobs (spill directory and chunk size for ``"ooc"``,
+scheduler tolerance for ``"multiprocess"``).  The config is frozen and
+validated at construction, so a bad parameter fails before any work
+starts — and before a worker pool or spill directory is created.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import ParameterError
+
+__all__ = ["EnumerationConfig"]
+
+
+@dataclass(frozen=True)
+class EnumerationConfig:
+    """Everything a backend needs to know about one enumeration run.
+
+    Attributes
+    ----------
+    backend:
+        Registry name of the execution substrate (``"incore"``,
+        ``"bitscan"``, ``"ooc"``, ``"multiprocess"``, or any backend
+        registered via :func:`repro.engine.register_backend`).
+    k_min:
+        Lower clique-size bound (the paper's ``Init_K``).  All built-in
+        backends support 1; for a backend registered with a higher
+        ``min_k_min`` floor, the engine promotes the value before
+        dispatch.
+    k_max:
+        Optional upper bound; enumeration stops after emitting maximal
+        cliques of this size.
+    max_cliques:
+        Optional output budget; exceeding it raises
+        :class:`~repro.errors.BudgetExceeded`.
+    max_candidate_bytes:
+        Optional per-level cap on measured candidate storage; exceeding
+        it raises :class:`~repro.errors.BudgetExceeded`.  Ignored by
+        backends that do not track level storage centrally.
+    jobs:
+        Worker-process count for parallel backends (``None`` lets the
+        backend pick, e.g. the CPU count).  Sequential backends reject
+        a non-``None`` value rather than silently ignoring it.
+    options:
+        Backend-specific knobs, e.g. ``{"directory": ..., "chunk_size":
+        512}`` for ``"ooc"`` or ``{"rel_tolerance": 0.1}`` for
+        ``"multiprocess"``.  Unknown keys are rejected by the backend.
+    """
+
+    backend: str = "incore"
+    k_min: int = 1
+    k_max: int | None = None
+    max_cliques: int | None = None
+    max_candidate_bytes: int | None = None
+    jobs: int | None = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.backend or not isinstance(self.backend, str):
+            raise ParameterError(
+                f"backend must be a non-empty string, got {self.backend!r}"
+            )
+        if self.k_min < 1:
+            raise ParameterError(f"k_min must be >= 1, got {self.k_min}")
+        if self.k_max is not None and self.k_max < self.k_min:
+            raise ParameterError(
+                f"k_max ({self.k_max}) must be >= k_min ({self.k_min})"
+            )
+        if self.max_cliques is not None and self.max_cliques < 0:
+            raise ParameterError(
+                f"max_cliques must be >= 0, got {self.max_cliques}"
+            )
+        if (
+            self.max_candidate_bytes is not None
+            and self.max_candidate_bytes < 0
+        ):
+            raise ParameterError(
+                "max_candidate_bytes must be >= 0, got "
+                f"{self.max_candidate_bytes}"
+            )
+        if self.jobs is not None and self.jobs < 1:
+            raise ParameterError(f"jobs must be >= 1, got {self.jobs}")
+        # normalise to a plain dict so `options` is hashable-agnostic and
+        # cheap to .get() from; the field stays read-only by convention.
+        object.__setattr__(self, "options", dict(self.options))
+
+    def __hash__(self) -> int:
+        # the frozen dataclass's auto-hash would choke on the options
+        # dict; hash its sorted items instead (values must be hashable
+        # for the config to be usable as a cache key, which is the
+        # point of hashing a config at all)
+        return hash((
+            self.backend,
+            self.k_min,
+            self.k_max,
+            self.max_cliques,
+            self.max_candidate_bytes,
+            self.jobs,
+            tuple(sorted(self.options.items())),
+        ))
+
+    def with_backend(self, backend: str) -> "EnumerationConfig":
+        """A copy of this config targeting a different backend."""
+        return replace(self, backend=backend)
+
+    def option(self, key: str, default: Any = None) -> Any:
+        """Read one backend-specific option with a default."""
+        return self.options.get(key, default)

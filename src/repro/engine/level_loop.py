@@ -1,0 +1,210 @@
+"""The shared level-loop skeleton every store-based backend runs.
+
+This is the paper's algorithm with the substrate factored out: seeding
+(edges for ``k_min <= 2``, the ``Init_K`` k-clique enumerator above
+that), then repeated ``GenerateKCliques`` steps until exhaustion or
+``k_max``, with per-level statistics, budget checks, and the emission
+bookkeeping that every historical driver re-implemented separately.
+
+A backend supplies exactly two policies:
+
+* ``store_factory`` — where a level's candidates live
+  (:class:`~repro.engine.level_store.MemoryLevelStore` or
+  :class:`~repro.core.out_of_core.DiskLevelStore`);
+* ``step`` — how one level becomes the next
+  (:func:`~repro.core.clique_enumerator.generate_next_level` or the
+  bit-scan ablation variant).
+
+Everything else — budgets, stats, ordering guarantees — is shared, so a
+new substrate cannot drift from the algorithm.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import BudgetExceeded
+from repro.core.clique_enumerator import (
+    EnumerationResult,
+    LevelStats,
+    build_initial_sublists,
+    build_sublists_from_k_cliques,
+    paper_formula_bytes,
+)
+from repro.core.counters import IOStats, OpCounters
+from repro.core.graph import Graph
+from repro.core.kclique import enumerate_k_cliques
+from repro.core.sublist import CliqueSubList
+from repro.engine.config import EnumerationConfig
+from repro.engine.level_store import LevelStore
+
+__all__ = ["make_emitter", "seed_level", "run_level_loop"]
+
+GenerationStep = Callable[
+    [list[CliqueSubList], Graph, OpCounters,
+     Callable[[tuple[int, ...]], None]],
+    list[CliqueSubList],
+]
+
+
+def make_emitter(
+    result: EnumerationResult,
+    config: EnumerationConfig,
+    on_clique: Callable[[tuple[int, ...]], None] | None,
+    current_level: Callable[[], int],
+) -> Callable[[tuple[int, ...]], None]:
+    """The shared emission sink: budget check, then stream or collect.
+
+    ``current_level`` is read lazily so :class:`~repro.errors.
+    BudgetExceeded` reports the level being generated when the budget
+    tripped.
+    """
+    emitted = 0
+    max_cliques = config.max_cliques
+
+    def emit(clique: tuple[int, ...]) -> None:
+        nonlocal emitted
+        emitted += 1
+        if max_cliques is not None and emitted > max_cliques:
+            raise BudgetExceeded(
+                f"clique budget {max_cliques} exceeded",
+                emitted=emitted - 1,
+                level=current_level(),
+            )
+        if on_clique is not None:
+            on_clique(clique)
+        else:
+            result.cliques.append(clique)
+
+    return emit
+
+
+def seed_level(
+    g: Graph,
+    k_min: int,
+    counters: OpCounters,
+    emit: Callable[[tuple[int, ...]], None],
+    emit_maximal_edges: bool = True,
+) -> tuple[int, list[CliqueSubList]]:
+    """Seed the enumeration: the paper's ``Init_K``.
+
+    Returns ``(k, sublists)`` — the starting level and its candidate
+    sub-lists.  For ``k_min <= 2`` seeding starts from the edge set
+    (emitting isolated vertices first when ``k_min == 1``); for larger
+    ``k_min`` the k-clique enumerator provides the level directly.
+    ``emit_maximal_edges=False`` suppresses the size-2 emissions (for
+    runs bounded to ``k_max < 2``).
+    """
+    if k_min <= 2:
+        if k_min == 1:
+            for v in range(g.n):
+                if g.degree(v) == 0:
+                    counters.maximal_emitted += 1
+                    emit((v,))
+        return 2, build_initial_sublists(
+            g, counters, emit, emit_maximal_edges=emit_maximal_edges
+        )
+    # enumerate_k_cliques counts its maximal cliques in `counters`;
+    # here they only need to be routed to the sink.
+    kres = enumerate_k_cliques(g, k_min, counters)
+    for clique in kres.maximal:
+        emit(clique)
+    return k_min, build_sublists_from_k_cliques(
+        g, k_min, kres.non_maximal, counters
+    )
+
+
+def _measure_store(
+    k: int, store: LevelStore, maximal: int, n_vertices: int
+) -> LevelStats:
+    """One :class:`LevelStats` row from the store's accounting."""
+    return LevelStats(
+        k=k,
+        n_sublists=store.n_sublists,
+        n_candidates=store.n_candidates,
+        maximal_emitted=maximal,
+        candidate_bytes=store.candidate_bytes,
+        paper_formula_bytes=paper_formula_bytes(
+            k, store.n_sublists, store.n_candidates, n_vertices
+        ),
+    )
+
+
+def run_level_loop(
+    g: Graph,
+    config: EnumerationConfig,
+    on_clique: Callable[[tuple[int, ...]], None] | None,
+    *,
+    step: GenerationStep,
+    store_factory: Callable[[], LevelStore],
+    backend: str,
+    io: IOStats | None = None,
+) -> EnumerationResult:
+    """Run the complete level-wise enumeration on one storage substrate.
+
+    The single source of truth for the algorithm's control flow: seeding,
+    level advance through ``step``, per-level :class:`LevelStats`, the
+    ``max_cliques`` / ``max_candidate_bytes`` budgets, and the
+    ``completed`` flag.  Backends built on this loop inherit the paper's
+    output guarantees — each maximal clique exactly once, non-decreasing
+    size order, canonical order within a size, nothing above ``k_max``.
+    """
+    k_min = config.k_min  # k_max >= k_min is the config's own invariant
+    counters = OpCounters()
+    result = EnumerationResult(
+        counters=counters,
+        k_min=k_min,
+        k_max=config.k_max,
+        backend=backend,
+        io=io,
+    )
+    level = k_min
+
+    emit = make_emitter(result, config, on_clique, lambda: level)
+    k, seed = seed_level(
+        g, k_min, counters, emit,
+        emit_maximal_edges=config.k_max is None or config.k_max >= 2,
+    )
+
+    store = store_factory()
+    try:
+        for sl in seed:
+            store.append(sl)
+        del seed
+        result.level_stats.append(
+            _measure_store(k, store, counters.maximal_emitted, g.n)
+        )
+        counters.levels = k
+
+        while len(store) and (config.k_max is None or k < config.k_max):
+            budget = config.max_candidate_bytes
+            if budget is not None and store.candidate_bytes > budget:
+                raise BudgetExceeded(
+                    f"candidate memory {store.candidate_bytes} exceeds "
+                    f"budget {budget} at level {k}",
+                    emitted=counters.maximal_emitted,
+                    level=k,
+                )
+            before = counters.maximal_emitted
+            level = k + 1
+            next_store = store_factory()
+            try:
+                for chunk in store.stream():
+                    for child in step(chunk, g, counters, emit):
+                        next_store.append(child)
+            except BaseException:
+                next_store.close()
+                raise
+            store.close()
+            store = next_store
+            k += 1
+            counters.levels = k
+            result.level_stats.append(
+                _measure_store(
+                    k, store, counters.maximal_emitted - before, g.n
+                )
+            )
+        result.completed = not len(store)
+    finally:
+        store.close()
+    return result

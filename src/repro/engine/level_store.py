@@ -1,0 +1,131 @@
+"""Level storage substrates for the unified enumeration loop.
+
+The Clique Enumerator touches its candidate sub-lists in exactly one
+pattern: append the whole next level, then stream it back once for
+expansion.  :class:`LevelStore` captures that single-pass contract plus
+the accounting the level loop needs (``N[k]``, ``M[k]``, measured bytes
+— the paper's per-level statistics), so the storage substrate becomes a
+policy choice:
+
+* :class:`MemoryLevelStore` — candidates stay in RAM; streaming yields
+  the whole level as one chunk so the generation step keeps its full
+  cross-sub-list batching (the paper's in-core mode);
+* :class:`~repro.core.out_of_core.DiskLevelStore` — candidates spill to
+  disk and stream back chunk by chunk with counted I/O (the retired
+  out-of-core mode, kept measurable).
+
+Both are driven by the same loop in :mod:`repro.engine.level_loop`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+from repro.core.clique_enumerator import INDEX_BYTES, POINTER_BYTES
+from repro.core.out_of_core import DiskLevelStore
+from repro.core.sublist import CliqueSubList
+
+__all__ = ["LevelStore", "MemoryLevelStore", "DiskLevelStore"]
+
+
+class LevelStore(ABC):
+    """Single-pass storage for one level of candidate sub-lists.
+
+    Contract: ``append`` the complete level, then ``stream`` it back
+    exactly once (in insertion order, as chunks), then ``close``.  The
+    accounting properties must reflect everything appended so far; the
+    level loop reads them for per-level statistics and memory budgets
+    without materialising the level.
+    """
+
+    @abstractmethod
+    def append(self, sl: CliqueSubList) -> None:
+        """Add one sub-list to the level."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored sub-lists."""
+
+    @property
+    @abstractmethod
+    def n_sublists(self) -> int:
+        """The paper's ``N[k]`` for this level."""
+
+    @property
+    @abstractmethod
+    def n_candidates(self) -> int:
+        """The paper's ``M[k]`` for this level."""
+
+    @property
+    @abstractmethod
+    def candidate_bytes(self) -> int:
+        """Measured candidate storage of this level, in bytes."""
+
+    @abstractmethod
+    def stream(self) -> Iterator[list[CliqueSubList]]:
+        """Yield the sub-lists back in insertion order, chunk by chunk."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release any backing resources; idempotent."""
+
+    def __enter__(self) -> "LevelStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MemoryLevelStore(LevelStore):
+    """In-memory level store: a list with the paper's accounting.
+
+    ``stream`` yields the entire level as a single chunk, so the
+    generation step sees every sub-list at once and its cross-sub-list
+    pair batching (``PAIR_BATCH``) is unchanged from the historical
+    in-core driver.
+    """
+
+    def __init__(self) -> None:
+        self._sublists: list[CliqueSubList] = []
+        self._n_candidates = 0
+        self._candidate_bytes = 0
+
+    def append(self, sl: CliqueSubList) -> None:
+        """Add one sub-list to the level."""
+        self._sublists.append(sl)
+        self._n_candidates += len(sl)
+        self._candidate_bytes += sl.nbytes(INDEX_BYTES, POINTER_BYTES)
+
+    def __len__(self) -> int:
+        return len(self._sublists)
+
+    @property
+    def n_sublists(self) -> int:
+        """The paper's ``N[k]`` for this level."""
+        return len(self._sublists)
+
+    @property
+    def n_candidates(self) -> int:
+        """The paper's ``M[k]`` for this level."""
+        return self._n_candidates
+
+    @property
+    def candidate_bytes(self) -> int:
+        """Measured candidate storage of this level, in bytes."""
+        return self._candidate_bytes
+
+    def stream(self) -> Iterator[list[CliqueSubList]]:
+        """Yield the whole level as one chunk (full batching preserved)."""
+        if self._sublists:
+            yield self._sublists
+
+    def close(self) -> None:
+        """Drop the level (lists are garbage-collected)."""
+        self._sublists = []
+
+
+# The disk substrate implements the same interface structurally; register
+# it so isinstance(LevelStore) holds without making repro.core depend on
+# the engine package.
+LevelStore.register(DiskLevelStore)

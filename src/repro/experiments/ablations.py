@@ -12,17 +12,9 @@ and shows the cost, quantifying the paper's qualitative arguments.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
-from repro.core.clique_enumerator import (
-    build_initial_sublists,
-    enumerate_maximal_cliques,
-    generate_next_level,
-    generate_next_level_bitscan,
-)
-from repro.core.counters import OpCounters
-from repro.core.out_of_core import enumerate_maximal_cliques_ooc
+from repro.engine import EnumerationConfig, EnumerationEngine
 from repro.parallel.machine import MachineSpec
 from repro.parallel.metrics import load_balance_stats
 from repro.parallel.parallel_enumerator import simulate_run
@@ -54,30 +46,23 @@ class AblationResult:
     penalty_series: dict[float, float]
 
 
-def _drive(g, step) -> tuple[float, OpCounters]:
-    counters = OpCounters()
-    sink: list[tuple[int, ...]] = []
-    t0 = time.perf_counter()
-    subs = build_initial_sublists(g, counters, sink.append, True)
-    while subs:
-        subs = step(subs, g, counters, sink.append)
-    return time.perf_counter() - t0, counters
-
-
 def run(workload: Workload | None = None) -> AblationResult:
-    """Measure every ablation on the (default myogenic) workload."""
+    """Measure every ablation on the (default myogenic) workload.
+
+    Generation variants and storage substrates are all engine backends
+    now, so each ablation row is the same
+    :meth:`~repro.engine.EnumerationEngine.run` call with a different
+    backend name — the comparison measures exactly the substrate.
+    """
     w = workload or myogenic_like()
     g = w.graph
+    engine = EnumerationEngine()
 
-    list_s, list_c = _drive(g, generate_next_level)
-    scan_s, scan_c = _drive(g, generate_next_level_bitscan)
+    list_res = engine.run(g, EnumerationConfig(backend="incore", k_min=2))
+    scan_res = engine.run(g, EnumerationConfig(backend="bitscan", k_min=2))
 
-    t0 = time.perf_counter()
-    enumerate_maximal_cliques(g, k_min=3)
-    in_core_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    ooc = enumerate_maximal_cliques_ooc(g, k_min=3)
-    ooc_s = time.perf_counter() - t0
+    in_core = engine.run(g, EnumerationConfig(backend="incore", k_min=3))
+    ooc = engine.run(g, EnumerationConfig(backend="ooc", k_min=3))
 
     spec = calibrated_spec()
     trace = myogenic_trace(18)
@@ -99,12 +84,12 @@ def run(workload: Workload | None = None) -> AblationResult:
         ).elapsed_seconds
     return AblationResult(
         workload=w.name,
-        list_seconds=list_s,
-        bitscan_seconds=scan_s,
-        bitscan_bits=scan_c.extra.get("bits_scanned", 0),
-        list_pair_checks=list_c.pair_checks,
-        in_core_seconds=in_core_s,
-        ooc_seconds=ooc_s,
+        list_seconds=list_res.wall_seconds,
+        bitscan_seconds=scan_res.wall_seconds,
+        bitscan_bits=scan_res.counters.extra.get("bits_scanned", 0),
+        list_pair_checks=list_res.counters.pair_checks,
+        in_core_seconds=in_core.wall_seconds,
+        ooc_seconds=ooc.wall_seconds,
         ooc_bytes=ooc.io.total_bytes,
         balanced_16p=load_balance_stats(balanced).std_over_mean,
         unbalanced_16p=load_balance_stats(unbalanced).std_over_mean,

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.clique_enumerator import enumerate_maximal_cliques
 from repro.core.memory_model import MemoryProfile, memory_profile
+from repro.engine import EnumerationConfig, run_enumeration
 from repro.experiments.workloads import Workload, myogenic_like
 from repro.experiments.reporting import format_bytes, render_table
 
@@ -43,10 +43,19 @@ class Figure9Result:
         return peak_k / self.max_clique if self.max_clique else 0.0
 
 
-def run(workload: Workload | None = None) -> Figure9Result:
-    """Enumerate from k=3 and collect the per-level memory series."""
+def run(
+    workload: Workload | None = None, backend: str = "incore"
+) -> Figure9Result:
+    """Enumerate from k=3 and collect the per-level memory series.
+
+    Any store-based :mod:`repro.engine` backend works — the level loop
+    records identical :class:`~repro.core.clique_enumerator.LevelStats`
+    whether candidates live in memory or on disk.
+    """
     w = workload or myogenic_like()
-    res = enumerate_maximal_cliques(w.graph, k_min=3)
+    res = run_enumeration(
+        w.graph, EnumerationConfig(backend=backend, k_min=3)
+    )
     return Figure9Result(
         workload=w.name,
         max_clique=res.max_clique_size(),
@@ -54,9 +63,11 @@ def run(workload: Workload | None = None) -> Figure9Result:
     )
 
 
-def report(result: Figure9Result | None = None) -> str:
+def report(
+    result: Figure9Result | None = None, backend: str = "incore"
+) -> str:
     """Render the Figure 9 series with a text bar per level."""
-    r = result or run()
+    r = result or run(backend=backend)
     prof = r.profile
     peak_bytes = max(prof.measured_bytes) if prof.measured_bytes else 1
     rows = []

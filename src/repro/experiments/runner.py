@@ -4,10 +4,12 @@ Usage::
 
     python -m repro.experiments.runner            # everything
     python -m repro.experiments.runner table1 figure9
+    python -m repro.experiments.runner table1 --backend ooc
 
 Each experiment prints its report; ``all`` (default) runs them in paper
 order.  Regeneration is deterministic: workloads and traces are seeded
-and cached.
+and cached.  ``--backend`` reruns the backend-aware experiments (those
+that enumerate through :mod:`repro.engine`) on a different substrate.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import argparse
 import sys
 import time
 
+from repro.engine import backend_table
 from repro.experiments import (
     ablations,
     figure5,
@@ -27,7 +30,7 @@ from repro.experiments import (
     table1,
 )
 
-__all__ = ["EXPERIMENTS", "main"]
+__all__ = ["EXPERIMENTS", "BACKEND_AWARE", "main"]
 
 EXPERIMENTS = {
     "table1": table1.report,
@@ -39,6 +42,16 @@ EXPERIMENTS = {
     "figure9": figure9.report,
     "ablations": ablations.report,
 }
+
+#: experiments whose report() accepts a `backend` keyword.
+BACKEND_AWARE = frozenset({"table1", "figure9"})
+
+
+def _store_backends() -> list[str]:
+    """Backends usable for the experiments: those that record the
+    per-level statistics the figures are built from (the parallel pool
+    aggregates across workers and keeps none)."""
+    return [info.name for info in backend_table() if not info.parallel]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -53,6 +66,17 @@ def main(argv: list[str] | None = None) -> int:
         default=["all"],
         help=f"one or more of: all, {', '.join(EXPERIMENTS)}",
     )
+    parser.add_argument(
+        "--backend",
+        default="incore",
+        choices=_store_backends(),
+        metavar="NAME",
+        help=(
+            "enumeration backend for the backend-aware experiments "
+            f"({', '.join(sorted(BACKEND_AWARE))}); limited to backends "
+            "that record per-level statistics; choices: %(choices)s"
+        ),
+    )
     args = parser.parse_args(argv)
     names = args.experiments
     if "all" in names:
@@ -66,7 +90,10 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         t0 = time.perf_counter()
         print(f"\n=== {name} " + "=" * max(0, 66 - len(name)))
-        print(EXPERIMENTS[name]())
+        if name in BACKEND_AWARE:
+            print(EXPERIMENTS[name](backend=args.backend))
+        else:
+            print(EXPERIMENTS[name]())
         print(f"[{name} regenerated in {time.perf_counter() - t0:.1f} s]")
     return 0
 

@@ -19,8 +19,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.clique_enumerator import enumerate_maximal_cliques
 from repro.core.kose import kose_enumerate
+from repro.engine import EnumerationConfig, run_enumeration
 from repro.experiments.workloads import Workload, mouse_brain_sparse
 from repro.experiments.reporting import format_seconds, render_table
 
@@ -50,6 +50,7 @@ class Table1Result:
     kose_peak_bytes: int
     ce_peak_bytes: int
     outputs_match: bool
+    backend: str = "incore"
 
     @property
     def speedup(self) -> float:
@@ -65,20 +66,27 @@ class Table1Result:
         return self.kose_peak_bytes / self.ce_peak_bytes
 
 
-def run(workload: Workload | None = None) -> Table1Result:
+def run(
+    workload: Workload | None = None, backend: str = "incore"
+) -> Table1Result:
     """Time both enumerators on the Table 1 workload.
 
     Each algorithm runs once (the instances are large enough that a
     single run dominates timer noise by orders of magnitude; the
     pytest-benchmark harness in ``benchmarks/bench_table1.py`` adds
-    multi-round statistics).
+    multi-round statistics).  ``backend`` selects the Clique Enumerator
+    substrate from the :mod:`repro.engine` registry, so the comparison
+    can be rerun on any of them (e.g. ``--backend ooc`` through the
+    experiments runner).
     """
     w = workload or mouse_brain_sparse()
     g = w.graph
     k_lo, k_hi = 3, w.expected_max_clique
 
     t0 = time.perf_counter()
-    ce = enumerate_maximal_cliques(g, k_min=k_lo, k_max=k_hi)
+    ce = run_enumeration(
+        g, EnumerationConfig(backend=backend, k_min=k_lo, k_max=k_hi)
+    )
     ce_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -87,6 +95,7 @@ def run(workload: Workload | None = None) -> Table1Result:
 
     match = sorted(ce.cliques) == sorted(ko.cliques)
     return Table1Result(
+        backend=backend,
         workload=w.name,
         n_vertices=g.n,
         density=g.density(),
@@ -100,9 +109,11 @@ def run(workload: Workload | None = None) -> Table1Result:
     )
 
 
-def report(result: Table1Result | None = None) -> str:
+def report(
+    result: Table1Result | None = None, backend: str = "incore"
+) -> str:
     """Render the Table 1 reproduction next to the paper's row."""
-    r = result or run()
+    r = result or run(backend=backend)
     rows = [
         [
             "paper (12,422 v, 0.008%)",

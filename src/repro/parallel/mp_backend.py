@@ -50,6 +50,8 @@ class MPResult:
 
     ``transfers`` counts sub-lists relayed between workers by the
     scheduler; ``counters`` aggregates the per-worker operation counts.
+    ``exhausted`` is False when ``k_max`` stopped the run with candidate
+    sub-lists remaining (mirrors the sequential drivers' ``completed``).
     """
 
     cliques: list[tuple[int, ...]] = field(default_factory=list)
@@ -57,6 +59,7 @@ class MPResult:
     levels: int = 0
     transfers: int = 0
     counters: OpCounters = field(default_factory=OpCounters)
+    exhausted: bool = True
 
 
 def _worker_loop(conn, g: Graph) -> None:
@@ -217,6 +220,7 @@ def enumerate_maximal_cliques_mp(
             result.cliques.extend(sorted(level))
             k += 1
         result.levels = k
+        result.exhausted = not sublists
         return result
 
     ctx = mp.get_context(
@@ -253,11 +257,8 @@ def enumerate_maximal_cliques_mp(
                     raise ReproError(f"unexpected worker reply {tag!r}")
                 level.extend(emitted)
                 estimates.append(ests)
-                for key, val in snap.items():
-                    if key != "levels":
-                        counters.extra[key] = (
-                            counters.extra.get(key, 0) + val
-                        )
+                snap.pop("levels", None)  # parent tracks levels itself
+                counters.merge_snapshot(snap)
             result.cliques.extend(sorted(level))
             k += 1
             remaining = any(estimates_w for estimates_w in estimates)
@@ -275,6 +276,7 @@ def enumerate_maximal_cliques_mp(
                 if pipes[dst].recv()[0] != "ok":  # pragma: no cover
                     raise ReproError("transfer protocol violation")
                 result.transfers += len(moved)
+        result.exhausted = not remaining
     finally:
         for conn in pipes:
             try:

@@ -6,12 +6,14 @@ import numpy as np
 import pytest
 
 from repro.bio.coexpression import (
+    coexpression_cliques,
     coexpression_pipeline,
     correlation_graph,
     threshold_for_density,
 )
 from repro.bio.expression import ModuleSpec, synthetic_expression
 from repro.core.clique_enumerator import enumerate_maximal_cliques
+from repro.engine import EnumerationConfig
 from repro.errors import ParameterError
 
 
@@ -103,3 +105,32 @@ class TestPipeline:
         )
         assert res.method == "pearson"
         assert res.graph.n == dataset.n_genes
+
+
+class TestCoexpressionCliques:
+    def test_end_to_end_through_engine(self, dataset):
+        pipeline, enum = coexpression_cliques(
+            dataset,
+            threshold=0.8,
+            config=EnumerationConfig(backend="incore", k_min=5),
+        )
+        reference = enumerate_maximal_cliques(pipeline.graph, k_min=5)
+        assert sorted(enum.cliques) == sorted(reference.cliques)
+        assert enum.backend == "incore"
+
+    def test_backend_is_interchangeable(self, dataset):
+        _, incore = coexpression_cliques(
+            dataset, threshold=0.8,
+            config=EnumerationConfig(backend="incore", k_min=4),
+        )
+        _, ooc = coexpression_cliques(
+            dataset, threshold=0.8,
+            config=EnumerationConfig(backend="ooc", k_min=4),
+        )
+        assert sorted(incore.cliques) == sorted(ooc.cliques)
+        assert ooc.io is not None and ooc.io.bytes_written > 0
+
+    def test_default_config(self, dataset):
+        _, enum = coexpression_cliques(dataset, threshold=0.8)
+        assert enum.k_min == 3
+        assert all(len(c) >= 3 for c in enum.cliques)

@@ -6,12 +6,15 @@ import pytest
 
 from repro.bio.ppi import (
     clean_by_voting,
+    interaction_modules,
     observe_with_noise,
     score_recovery,
     simulate_replicates,
 )
-from repro.core.generators import erdos_renyi
+from repro.core.clique_enumerator import enumerate_maximal_cliques
+from repro.core.generators import erdos_renyi, planted_partition
 from repro.core.graph import Graph
+from repro.engine import EnumerationConfig
 from repro.errors import ParameterError
 
 
@@ -103,3 +106,29 @@ class TestScore:
     def test_size_mismatch(self, truth):
         with pytest.raises(ParameterError):
             score_recovery(truth, Graph(truth.n + 1))
+
+
+class TestInteractionModules:
+    def test_matches_manual_two_steps(self):
+        truth, _ = planted_partition(
+            80, [7, 6, 5], p_in=0.9, p_out=0.02, seed=21
+        )
+        reps = simulate_replicates(truth, 5, 0.01, 0.15, seed=5)
+        cleaned, enum = interaction_modules(
+            reps, 3, config=EnumerationConfig(k_min=4)
+        )
+        assert cleaned == clean_by_voting(reps, 3)
+        reference = enumerate_maximal_cliques(cleaned, k_min=4)
+        assert sorted(enum.cliques) == sorted(reference.cliques)
+
+    def test_default_config_and_backend_swap(self, truth):
+        reps = simulate_replicates(truth, 3, 0.02, 0.1, seed=8)
+        _, incore = interaction_modules(reps, 2)
+        _, mp = interaction_modules(
+            reps, 2,
+            config=EnumerationConfig(
+                backend="multiprocess", k_min=3, jobs=2
+            ),
+        )
+        assert incore.k_min == 3
+        assert sorted(incore.cliques) == sorted(mp.cliques)

@@ -1,0 +1,291 @@
+"""Unit tests for the engine layer: config, registry, stores, facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import bitset as bs
+from repro.core.generators import complete_graph, erdos_renyi
+from repro.core.sublist import CliqueSubList
+from repro.engine import (
+    DiskLevelStore,
+    EnumerationConfig,
+    EnumerationEngine,
+    LevelStore,
+    MemoryLevelStore,
+    available_backends,
+    backend_table,
+    get_backend,
+    register_backend,
+    run_enumeration,
+    unregister_backend,
+)
+from repro.errors import BudgetExceeded, ParameterError
+
+
+def _sl(prefix, tails, n=32):
+    return CliqueSubList(
+        prefix=tuple(prefix),
+        tails=np.asarray(tails, dtype=np.int64),
+        cn_words=bs.indices_to_words(tails, n),
+    )
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = EnumerationConfig()
+        assert cfg.backend == "incore"
+        assert cfg.k_min == 1
+        assert cfg.k_max is None
+
+    def test_invalid_k_min(self):
+        with pytest.raises(ParameterError):
+            EnumerationConfig(k_min=0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ParameterError):
+            EnumerationConfig(k_min=5, k_max=4)
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ParameterError):
+            EnumerationConfig(jobs=0)
+
+    def test_invalid_backend_name(self):
+        with pytest.raises(ParameterError):
+            EnumerationConfig(backend="")
+
+    def test_with_backend(self):
+        cfg = EnumerationConfig(k_min=3).with_backend("ooc")
+        assert cfg.backend == "ooc"
+        assert cfg.k_min == 3
+
+    def test_options_are_copied(self):
+        opts = {"chunk_size": 8}
+        cfg = EnumerationConfig(backend="ooc", options=opts)
+        opts["chunk_size"] = 99
+        assert cfg.option("chunk_size") == 8
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            EnumerationConfig().k_min = 2
+
+    def test_hashable(self):
+        a = EnumerationConfig(backend="ooc", options={"chunk_size": 8})
+        b = EnumerationConfig(backend="ooc", options={"chunk_size": 8})
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_jobs_rejected_by_sequential_backends(self, triangle):
+        for backend in ("incore", "bitscan", "ooc"):
+            with pytest.raises(ParameterError, match="sequential"):
+                run_enumeration(
+                    triangle,
+                    EnumerationConfig(backend=backend, jobs=2),
+                )
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"incore", "bitscan", "ooc", "multiprocess"} <= set(
+            available_backends()
+        )
+
+    def test_unknown_backend(self):
+        with pytest.raises(ParameterError, match="unknown backend"):
+            get_backend("does-not-exist")
+
+    def test_unknown_backend_via_run(self, triangle):
+        with pytest.raises(ParameterError, match="available"):
+            run_enumeration(
+                triangle, EnumerationConfig(backend="does-not-exist")
+            )
+
+    def test_register_and_unregister(self, triangle):
+        @register_backend("test-null", description="no-op test backend")
+        def run_null(g, config, on_clique=None):
+            """No-op backend for registry tests."""
+            from repro.core.clique_enumerator import EnumerationResult
+
+            return EnumerationResult(backend="test-null")
+
+        try:
+            assert "test-null" in available_backends()
+            res = run_enumeration(
+                triangle, EnumerationConfig(backend="test-null")
+            )
+            assert res.backend == "test-null"
+        finally:
+            unregister_backend("test-null")
+        assert "test-null" not in available_backends()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ParameterError, match="already registered"):
+            register_backend("incore", lambda g, c, s: None)
+
+    def test_min_k_min_promoted_by_engine(self, triangle):
+        seen: list[int] = []
+
+        @register_backend("test-floor", min_k_min=3)
+        def run_floor(g, config, on_clique=None):
+            """Records the k_min it was dispatched with."""
+            from repro.core.clique_enumerator import EnumerationResult
+
+            seen.append(config.k_min)
+            return EnumerationResult(backend="test-floor")
+
+        try:
+            run_enumeration(
+                triangle, EnumerationConfig(backend="test-floor", k_min=1)
+            )
+        finally:
+            unregister_backend("test-floor")
+        assert seen == [3]
+
+    def test_backend_table_entries(self):
+        table = backend_table()
+        names = [info.name for info in table]
+        assert names == sorted(names)
+        ooc = next(info for info in table if info.name == "ooc")
+        assert ooc.storage == "disk"
+        mp = next(info for info in table if info.name == "multiprocess")
+        assert mp.parallel
+
+    def test_unknown_option_rejected(self, triangle):
+        with pytest.raises(ParameterError, match="option"):
+            run_enumeration(
+                triangle,
+                EnumerationConfig(
+                    backend="incore", options={"bogus": 1}
+                ),
+            )
+
+
+class TestLevelStores:
+    def test_memory_store_accounting(self):
+        store = MemoryLevelStore()
+        store.append(_sl([0], [1, 2]))
+        store.append(_sl([1], [2, 3, 4]))
+        assert len(store) == 2
+        assert store.n_sublists == 2
+        assert store.n_candidates == 5
+        assert store.candidate_bytes > 0
+
+    def test_memory_store_single_chunk(self):
+        store = MemoryLevelStore()
+        items = [_sl([0], [1, 2]), _sl([1], [2, 3])]
+        for sl in items:
+            store.append(sl)
+        chunks = list(store.stream())
+        assert len(chunks) == 1
+        assert chunks[0] == items
+
+    def test_empty_memory_store_streams_nothing(self):
+        assert list(MemoryLevelStore().stream()) == []
+
+    def test_disk_store_is_level_store(self, tmp_path):
+        assert issubclass(DiskLevelStore, LevelStore)
+        with DiskLevelStore(tmp_path) as store:
+            assert isinstance(store, LevelStore)
+
+    def test_disk_store_accounting_matches_memory(self, tmp_path):
+        mem, disk = MemoryLevelStore(), DiskLevelStore(tmp_path)
+        for sl in (_sl([0], [1, 2]), _sl([1], [2, 3, 4])):
+            mem.append(sl)
+            disk.append(sl)
+        assert disk.n_sublists == mem.n_sublists
+        assert disk.n_candidates == mem.n_candidates
+        assert disk.candidate_bytes == mem.candidate_bytes
+        disk.close()
+
+
+class TestFacade:
+    def test_default_config(self, triangle):
+        res = EnumerationEngine().run(triangle)
+        assert res.cliques == [(0, 1, 2)]
+        assert res.backend == "incore"
+
+    def test_engine_level_default_config(self, triangle):
+        engine = EnumerationEngine(EnumerationConfig(backend="bitscan"))
+        assert engine.run(triangle).backend == "bitscan"
+
+    def test_per_call_config_overrides(self, triangle):
+        engine = EnumerationEngine(EnumerationConfig(backend="bitscan"))
+        res = engine.run(triangle, EnumerationConfig(backend="incore"))
+        assert res.backend == "incore"
+
+    def test_backends_listing(self):
+        assert EnumerationEngine.backends() == available_backends()
+
+    def test_wall_seconds_measured(self):
+        res = run_enumeration(erdos_renyi(20, 0.3, seed=1))
+        assert res.wall_seconds > 0
+
+    def test_max_cliques_budget_across_backends(self):
+        g = erdos_renyi(30, 0.5, seed=1)
+        for backend in ("incore", "bitscan", "ooc"):
+            with pytest.raises(BudgetExceeded):
+                run_enumeration(
+                    g,
+                    EnumerationConfig(
+                        backend=backend, k_min=2, max_cliques=3
+                    ),
+                )
+
+    def test_memory_budget_on_disk_backend(self):
+        g = complete_graph(10)
+        with pytest.raises(BudgetExceeded):
+            run_enumeration(
+                g,
+                EnumerationConfig(
+                    backend="ooc", k_min=2, max_candidate_bytes=10
+                ),
+            )
+
+    def test_ooc_reports_io(self):
+        g = erdos_renyi(25, 0.35, seed=2)
+        res = run_enumeration(g, EnumerationConfig(backend="ooc"))
+        assert res.io is not None
+        assert res.io.bytes_written > 0
+        assert res.io.bytes_read > 0
+
+    def test_ooc_shared_directory_across_levels(self, tmp_path):
+        """Consecutive levels spill into one directory without the next
+        level's writer truncating the file the current level streams."""
+        g = erdos_renyi(120, 0.25, seed=9)
+        cfg = EnumerationConfig(
+            backend="ooc",
+            k_min=2,
+            options={"directory": tmp_path, "chunk_size": 4},
+        )
+        res = run_enumeration(g, cfg)
+        ref = run_enumeration(g, EnumerationConfig(k_min=2))
+        assert sorted(res.cliques) == sorted(ref.cliques)
+        assert list(tmp_path.glob("*.spill")) == []
+
+    def test_level_stats_match_across_store_backends(self):
+        g = erdos_renyi(25, 0.35, seed=3)
+        incore = run_enumeration(
+            g, EnumerationConfig(backend="incore", k_min=2)
+        )
+        ooc = run_enumeration(g, EnumerationConfig(backend="ooc", k_min=2))
+        assert incore.level_stats == ooc.level_stats
+
+    def test_multiprocess_jobs_respected(self):
+        g = erdos_renyi(25, 0.35, seed=4)
+        res = run_enumeration(
+            g, EnumerationConfig(backend="multiprocess", jobs=2)
+        )
+        assert res.n_workers == 2
+
+    def test_multiprocess_counters_are_canonical(self):
+        """Worker op counts fold into the canonical fields, so the
+        counters stay comparable with the sequential substrates."""
+        g = erdos_renyi(25, 0.35, seed=5)
+        mp = run_enumeration(
+            g, EnumerationConfig(backend="multiprocess", k_min=2, jobs=2)
+        )
+        seq = run_enumeration(g, EnumerationConfig(k_min=2))
+        assert mp.counters.pair_checks == seq.counters.pair_checks
+        assert mp.counters.maximal_emitted == seq.counters.maximal_emitted
+        assert mp.counters.total_work() == seq.counters.total_work()

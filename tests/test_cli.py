@@ -7,6 +7,7 @@ import pytest
 from repro.cli import main
 from repro.core import graph_io
 from repro.core.generators import barbell_graph
+from repro.engine import available_backends
 
 
 @pytest.fixture
@@ -35,6 +36,50 @@ class TestEnumerate:
         assert main(["enumerate", graph_file, "--k-min", "3"]) == 0
         out = capsys.readouterr().out.strip().splitlines()
         assert out == ["0 1 2", "3 4 5"]
+
+
+class TestEnumerateBackends:
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_every_backend_counts_identically(
+        self, backend, graph_file, capsys
+    ):
+        argv = ["enumerate", graph_file, "--backend", backend, "--count"]
+        if backend == "multiprocess":
+            argv += ["--jobs", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "size 3: 2" in out
+        assert "total: 3" in out
+
+    def test_unknown_backend_is_argparse_error(self, graph_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["enumerate", graph_file, "--backend", "warpdrive"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_jobs_must_be_positive(self, graph_file, capsys):
+        rc = main(
+            ["enumerate", graph_file, "--backend", "multiprocess",
+             "--jobs", "0"]
+        )
+        assert rc == 1
+        assert "jobs" in capsys.readouterr().err
+
+    def test_jobs_rejected_on_sequential_backend(self, graph_file, capsys):
+        rc = main(
+            ["enumerate", graph_file, "--backend", "incore", "--jobs", "4"]
+        )
+        assert rc == 1
+        assert "sequential" in capsys.readouterr().err
+
+
+class TestEngines:
+    def test_lists_all_registered_backends(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in available_backends():
+            assert name in out
+        assert "storage" in out
 
 
 class TestMaxClique:

@@ -30,6 +30,13 @@ PUBLIC_MODULES = [
     "repro.core.stats",
     "repro.core.out_of_core",
     "repro.core.decomposition",
+    "repro.engine",
+    "repro.engine.api",
+    "repro.engine.backends",
+    "repro.engine.config",
+    "repro.engine.level_loop",
+    "repro.engine.level_store",
+    "repro.engine.registry",
     "repro.parallel.machine",
     "repro.parallel.load_balancer",
     "repro.parallel.parallel_enumerator",
