@@ -1,0 +1,90 @@
+"""Job-service benchmarks: dispatch throughput and cache-hit speedup.
+
+The service exists for two numbers: how many enumeration jobs the
+scheduler can push through per second (queue + dispatch overhead on
+top of the raw engine), and how much a repeated threshold-sweep query
+gains from the graph/config-keyed result cache (the whole point of
+amortizing shared computation across related queries).  The
+cache-miss/cache-hit pair on the same workload is the headline —
+extra-info records the hit counters as evidence.
+
+Run with the same harness as the other ``bench_*`` scripts::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py \
+        -o python_files='bench_*.py' -o python_functions='bench_*' \
+        --benchmark-json=service.json
+"""
+
+from __future__ import annotations
+
+from repro.engine import EnumerationConfig
+from repro.service import (
+    EnumerationServer,
+    JobScheduler,
+    JobSpec,
+    ServiceClient,
+)
+
+#: jobs per throughput round — enough to keep both workers busy.
+BATCH = 8
+
+
+def bench_service_jobs_per_second(benchmark, myogenic):
+    """Scheduler throughput: a batch of uncached count jobs, drained."""
+    g = myogenic.graph
+    cfg = EnumerationConfig(k_min=3)
+
+    def run():
+        with JobScheduler(workers=2, cache=None) as sched:
+            jobs = sched.submit_batch([
+                JobSpec(graph=g, config=cfg, sink="count", use_cache=False)
+                for _ in range(BATCH)
+            ])
+            sched.drain()
+        return jobs
+
+    jobs = benchmark(run)
+    benchmark.extra_info["jobs_per_round"] = len(jobs)
+    benchmark.extra_info["n_cliques"] = jobs[0].sink_summary["cliques"]
+
+
+def bench_service_cache_miss(benchmark, myogenic):
+    """The uncached baseline of the repeated-sweep query (full work)."""
+    g = myogenic.graph
+    cfg = EnumerationConfig(k_min=3)
+    with JobScheduler(workers=1, cache=None) as sched:
+        job = benchmark(
+            lambda: sched.submit(JobSpec(graph=g, config=cfg)).wait()
+        )
+    benchmark.extra_info["cache_hit"] = job.cache_hit
+    benchmark.extra_info["n_cliques"] = len(job.result.cliques)
+
+
+def bench_service_cache_hit(benchmark, myogenic):
+    """The same query served from the warmed result cache."""
+    g = myogenic.graph
+    cfg = EnumerationConfig(k_min=3)
+    with JobScheduler(workers=1) as sched:
+        sched.submit(JobSpec(graph=g, config=cfg)).wait()  # warm it
+        job = benchmark(
+            lambda: sched.submit(JobSpec(graph=g, config=cfg)).wait()
+        )
+        benchmark.extra_info["cache_hits"] = sched.cache.stats()["hits"]
+    benchmark.extra_info["cache_hit"] = job.cache_hit
+    benchmark.extra_info["n_cliques"] = len(job.result.cliques)
+
+
+def bench_service_wire_round_trip(benchmark, myogenic):
+    """Submit + wait over the TCP JSON-lines protocol (cache warmed)."""
+    g = myogenic.graph
+    with EnumerationServer() as server:
+        with ServiceClient(server.address) as client:
+            # warm with collect — only collect jobs populate the cache
+            client.wait(client.submit(g, k_min=3))
+
+            def round_trip():
+                return client.wait(client.submit(g, k_min=3, sink="count"))
+
+            job = benchmark(round_trip)
+    benchmark.extra_info["cache_hit"] = job["cache_hit"]
+    benchmark.extra_info["n_cliques"] = job["sink_summary"]["cliques"]

@@ -29,8 +29,10 @@ from repro.bio.correlation import (
 )
 from repro.bio.coexpression import (
     CoexpressionResult,
+    coexpression_cliques,
     coexpression_pipeline,
     correlation_graph,
+    submit_coexpression_sweep,
     threshold_for_density,
 )
 from repro.bio.stoichiometry import (
@@ -111,8 +113,10 @@ __all__ = [
     "spearman_correlation",
     "rank_rows",
     "CoexpressionResult",
+    "coexpression_cliques",
     "coexpression_pipeline",
     "correlation_graph",
+    "submit_coexpression_sweep",
     "threshold_for_density",
     "MetabolicNetwork",
     "Reaction",

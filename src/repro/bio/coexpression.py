@@ -27,6 +27,7 @@ __all__ = [
     "threshold_for_density",
     "coexpression_pipeline",
     "coexpression_cliques",
+    "submit_coexpression_sweep",
 ]
 
 
@@ -87,6 +88,24 @@ class CoexpressionResult:
     method: str
 
 
+def _correlation_matrix(
+    dataset: ExpressionDataSet, method: str, normalize: bool
+) -> np.ndarray:
+    """The shared normalize → correlate front of pipeline and sweep."""
+    if method not in ("spearman", "pearson"):
+        raise ParameterError(
+            f"method must be 'spearman' or 'pearson', got {method!r}"
+        )
+    matrix = dataset.matrix
+    if normalize:
+        matrix = zscore_normalize(matrix, axis=1)
+    return (
+        spearman_correlation(matrix)
+        if method == "spearman"
+        else pearson_correlation(matrix)
+    )
+
+
 def coexpression_pipeline(
     dataset: ExpressionDataSet,
     threshold: float | None = None,
@@ -105,18 +124,7 @@ def coexpression_pipeline(
         raise ParameterError(
             "give exactly one of threshold / target_density"
         )
-    if method not in ("spearman", "pearson"):
-        raise ParameterError(
-            f"method must be 'spearman' or 'pearson', got {method!r}"
-        )
-    matrix = dataset.matrix
-    if normalize:
-        matrix = zscore_normalize(matrix, axis=1)
-    corr = (
-        spearman_correlation(matrix)
-        if method == "spearman"
-        else pearson_correlation(matrix)
-    )
+    corr = _correlation_matrix(dataset, method, normalize)
     if threshold is None:
         threshold = threshold_for_density(corr, target_density)
     graph = correlation_graph(corr, threshold)
@@ -152,3 +160,61 @@ def coexpression_cliques(
         config = EnumerationConfig(k_min=3)
     cliques = run_enumeration(pipeline.graph, config)
     return pipeline, cliques
+
+
+def submit_coexpression_sweep(
+    scheduler,
+    dataset: ExpressionDataSet,
+    thresholds: list[float],
+    method: str = "spearman",
+    normalize: bool = True,
+    config: EnumerationConfig | None = None,
+    sink: str = "count",
+    priority: int = 0,
+    use_cache: bool = True,
+):
+    """Submit a threshold sweep as a batch of enumeration jobs.
+
+    The paper's biologists pick thresholds by *sweeping* them — the
+    same expression matrix is thresholded at many cutoffs and each
+    resulting graph is enumerated.  This helper amortizes the shared
+    computation (normalization + the O(genes^2) correlation matrix are
+    computed exactly once) and turns the per-threshold enumerations
+    into queued :class:`~repro.service.jobs.Job`\\ s on a
+    :class:`~repro.service.scheduler.JobScheduler`.  With
+    ``sink="collect"`` each cutoff's result also lands in the
+    scheduler's cache, so repeated cutoffs are served from it instead
+    of re-enumerating; the default ``"count"`` sink streams without
+    materializing cliques and therefore never populates the cache
+    (it can still be *served* from a collect-warmed one).
+
+    Returns the jobs in threshold order, labelled
+    ``coexpression@<threshold>``; call ``job.wait()`` (or the
+    scheduler's ``drain``) to collect them.
+
+    One thresholded graph (an O(genes^2 / 8)-byte adjacency bitmap) is
+    materialized per threshold at submission and stays referenced by
+    its job record until pruning, so peak memory scales with the sweep
+    length; for very long sweeps over very large gene sets, save each
+    thresholded graph to disk and submit path-referenced specs instead
+    (the scheduler memoizes loads).
+    """
+    from repro.service.jobs import JobSpec
+
+    if not thresholds:
+        raise ParameterError("sweep needs at least one threshold")
+    if config is None:
+        config = EnumerationConfig(k_min=3)
+    corr = _correlation_matrix(dataset, method, normalize)
+    specs = [
+        JobSpec(
+            graph=correlation_graph(corr, t),
+            config=config,
+            sink=sink,
+            priority=priority,
+            use_cache=use_cache,
+            label=f"coexpression@{t:g}",
+        )
+        for t in thresholds
+    ]
+    return scheduler.submit_batch(specs)

@@ -3,17 +3,27 @@
 Usage::
 
     python -m repro.cli enumerate GRAPH [--backend NAME] [--jobs N]
-                                  [--k-min K] [--k-max K] [--count]
+                                  [--k-min K] [--k-max K] [--sink SPEC]
     python -m repro.cli engines
     python -m repro.cli maxclique GRAPH
     python -m repro.cli stats GRAPH
     python -m repro.cli convert GRAPH OUTPUT
+    python -m repro.cli serve [--port N | --socket PATH] [--workers N]
+    python -m repro.cli submit GRAPH [--connect HOST:PORT | --socket PATH]
+    python -m repro.cli jobs [--connect HOST:PORT | --socket PATH]
 
 ``GRAPH`` is any file readable by :mod:`repro.core.graph_io` (DIMACS
 ``.dimacs``/``.clq``, edge list ``.edges``/``.txt``, JSON ``.json``);
 ``convert`` rewrites between formats by extension.  ``enumerate`` runs
 on any registered :mod:`repro.engine` backend (``engines`` lists them);
-all backends print identical cliques.
+all backends print identical cliques.  ``--sink`` routes the output
+through a streaming :mod:`repro.service.sinks` sink (``count``,
+``top_k:N``, ``jsonl:PATH``) so huge outputs never materialize in RAM;
+the historical ``--count`` flag is an alias for ``--sink count``.
+
+``serve`` starts the long-lived enumeration job service
+(:mod:`repro.service`); ``submit`` and ``jobs`` talk to it over its
+JSON-lines protocol.
 """
 
 from __future__ import annotations
@@ -33,6 +43,11 @@ from repro.engine import (
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
+
+#: default TCP port of the enumeration job service (one shared
+#: definition — importing the service package here is deliberate so
+#: the CLI and `repro.service.serve` cannot drift apart).
+from repro.service.server import DEFAULT_PORT  # noqa: E402
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,9 +89,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--k-max", type=int, default=None, help="maximum clique size"
     )
     p_enum.add_argument(
+        "--sink",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "stream cliques into a sink instead of printing them: "
+            "count, top_k:N, jsonl:PATH (default: collect and print)"
+        ),
+    )
+    p_enum.add_argument(
         "--count",
         action="store_true",
-        help="print only per-size counts, not the cliques",
+        help="alias for --sink count (per-size counts only)",
     )
 
     sub.add_parser(
@@ -94,10 +118,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_conv.add_argument("graph", help="input graph file")
     p_conv.add_argument("output", help="output graph file")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the enumeration job service"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind host"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help="TCP port (default: %(default)s; 0 picks a free port)",
+    )
+    p_serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listen on a unix socket instead of TCP",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="scheduler worker threads (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=128,
+        help="result-cache entries, 0 disables (default: %(default)s)",
+    )
+
+    def add_connect(p):
+        p.add_argument(
+            "--connect", default=f"127.0.0.1:{DEFAULT_PORT}",
+            metavar="HOST:PORT", help="service TCP address",
+        )
+        p.add_argument(
+            "--socket", default=None, metavar="PATH",
+            help="service unix socket (overrides --connect)",
+        )
+
+    p_submit = sub.add_parser(
+        "submit", help="submit an enumeration job to a running service"
+    )
+    p_submit.add_argument("graph", help="graph file (server-side path)")
+    add_connect(p_submit)
+    p_submit.add_argument(
+        "--backend", default="incore", metavar="NAME",
+        help="execution backend (default: incore)",
+    )
+    p_submit.add_argument("--jobs", type=int, default=None, metavar="N")
+    p_submit.add_argument("--k-min", type=int, default=1)
+    p_submit.add_argument("--k-max", type=int, default=None)
+    p_submit.add_argument(
+        "--sink", default="count", metavar="SPEC",
+        help="job sink spec (default: count)",
+    )
+    p_submit.add_argument(
+        "--priority", type=int, default=0, help="higher runs first"
+    )
+    p_submit.add_argument(
+        "--label", default="", help="free-form tag shown in listings"
+    )
+    p_submit.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the service result cache for this job",
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its summary",
+    )
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list the jobs of a running service"
+    )
+    add_connect(p_jobs)
     return parser
 
 
+def _print_size_counts(by_size: dict[int, int], total: int) -> None:
+    for size, count in sorted(by_size.items()):
+        print(f"size {size}: {count}")
+    print(f"total: {total}")
+
+
 def _cmd_enumerate(args) -> int:
+    from repro.service.sinks import (
+        CollectSink, JsonlSink, TopKSink, make_sink,
+    )
+
     g = graph_io.load(args.graph)
     config = EnumerationConfig(
         backend=args.backend,
@@ -105,14 +208,35 @@ def _cmd_enumerate(args) -> int:
         k_max=args.k_max,
         jobs=args.jobs,
     )
-    result = EnumerationEngine().run(g, config)
+    spec = args.sink
     if args.count:
-        for size, group in sorted(result.by_size().items()):
-            print(f"size {size}: {len(group)}")
-        print(f"total: {len(result.cliques)}")
-    else:
+        if spec is not None and spec != "count":
+            raise ReproError(
+                "--count is an alias for --sink count; drop one of them"
+            )
+        spec = "count"
+    if spec is None:
+        result = EnumerationEngine().run(g, config)
         for clique in result.cliques:
             print(" ".join(map(str, clique)))
+        return 0
+    sink = make_sink(spec)
+    EnumerationEngine().run_with_sink(g, config, sink)
+    if isinstance(sink, CollectSink):
+        for clique in sink.cliques:
+            print(" ".join(map(str, clique)))
+    elif isinstance(sink, TopKSink):
+        for clique in sink.top:
+            print(" ".join(map(str, clique)))
+    elif isinstance(sink, JsonlSink):
+        print(
+            f"wrote {sink.count} cliques "
+            f"({sink.bytes_written} bytes) to {sink.path}"
+        )
+    else:
+        # count — and any future sink type: the uniform base-class
+        # accounting always supports a per-size report
+        _print_size_counts(sink.by_size, sink.count)
     return 0
 
 
@@ -152,6 +276,7 @@ def _cmd_stats(args) -> int:
     print(f"avg clustering:      {s.average_clustering:.4f}")
     print(f"components:          {s.n_components} "
           f"(largest {s.largest_component})")
+    print(f"fingerprint:         {graph_io.graph_fingerprint(g)}")
     return 0
 
 
@@ -162,12 +287,95 @@ def _cmd_convert(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        workers=args.workers,
+        cache_size=args.cache_size,
+    )
+    return 0
+
+
+def _service_address(args):
+    """The client address from --socket / --connect."""
+    if args.socket is not None:
+        return args.socket
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(
+            f"--connect must look like HOST:PORT, got {args.connect!r}"
+        )
+    return (host, int(port))
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceClient
+
+    config = EnumerationConfig(
+        backend=args.backend,
+        k_min=args.k_min,
+        k_max=args.k_max,
+        jobs=args.jobs,
+    )
+    with ServiceClient(_service_address(args)) as client:
+        job_id = client.submit(
+            args.graph,
+            config=config,
+            sink=args.sink,
+            priority=args.priority,
+            use_cache=not args.no_cache,
+            label=args.label,
+        )
+        if not args.wait:
+            print(job_id)
+            return 0
+        job = client.wait(job_id)
+    print(f"{job['id']}: {job['status']}"
+          + (" (cache hit)" if job.get("cache_hit") else ""))
+    if job["status"] != "done":
+        # failed *and* cancelled jobs produced no usable output; a
+        # pipeline must not treat them as success
+        if job.get("error"):
+            print(f"error: {job['error']}", file=sys.stderr)
+        return 1
+    summary = job.get("sink_summary") or {}
+    if summary:
+        _print_size_counts(
+            {int(k): v for k, v in summary.get("by_size", {}).items()},
+            summary.get("cliques", 0),
+        )
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service import ServiceClient
+
+    with ServiceClient(_service_address(args)) as client:
+        jobs = client.jobs()
+    print(f"{'id':<12} {'status':<10} {'backend':<12} {'sink':<14} "
+          f"{'cliques':>8}  label")
+    for job in jobs:
+        summary = job.get("sink_summary") or {}
+        n = summary.get("cliques", job.get("n_cliques", ""))
+        print(f"{job['id']:<12} {job['status']:<10} "
+              f"{job['backend']:<12} {job['sink']:<14} {n!s:>8}  "
+              f"{job['label']}")
+    return 0
+
+
 _COMMANDS = {
     "enumerate": _cmd_enumerate,
     "engines": _cmd_engines,
     "maxclique": _cmd_maxclique,
     "stats": _cmd_stats,
     "convert": _cmd_convert,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
 }
 
 
@@ -178,6 +386,13 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ConnectionError as exc:
+        print(f"error: cannot reach the service: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # e.g. `serve` on an already-bound port or unwritable socket
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except ReproError as exc:

@@ -22,6 +22,7 @@ offending line number on malformed input.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -37,7 +38,26 @@ __all__ = [
     "write_json",
     "load",
     "save",
+    "graph_fingerprint",
 ]
+
+
+def graph_fingerprint(g: Graph) -> str:
+    """Stable content hash of a graph: same edges, same fingerprint.
+
+    The digest covers the vertex count and the sorted edge set — the
+    adjacency bitmap rows are exactly the edge set in canonical order,
+    so hashing the raw words is equivalent to hashing ``sorted(
+    g.edges())`` while staying O(n^2/64) with no Python-level edge
+    loop.  The fingerprint is independent of construction order and
+    changes whenever an edge is added or removed, which is what makes
+    it safe as a cache key (:mod:`repro.service.cache`) and useful in
+    ``repro stats`` output.
+    """
+    h = hashlib.sha256()
+    h.update(f"graph:{g.n}:".encode())
+    h.update(g.adj.tobytes())
+    return h.hexdigest()
 
 
 def read_dimacs(path: str | Path) -> Graph:

@@ -83,6 +83,50 @@ class EnumerationEngine:
         result.wall_seconds = time.perf_counter() - t0
         return result
 
+    def run_with_sink(
+        self,
+        g: Graph,
+        config: EnumerationConfig | None = None,
+        sink: Callable[[tuple[int, ...]], None] | None = None,
+    ) -> EnumerationResult:
+        """Run streaming into a sink and manage its lifecycle.
+
+        A sink is any ``on_clique`` callable; when it additionally has
+        the :class:`repro.service.sinks.CliqueSink` surface (``close``
+        and ``summary``, duck-typed so the engine layer stays below the
+        service layer) it is closed on completion *and* on error, and
+        its summary is folded into ``result.counters.extra`` under
+        ``sink_*`` keys.
+        """
+        if sink is None:
+            return self.run(g, config)
+        try:
+            result = self.run(g, config, on_clique=sink)
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+        except BaseException:
+            # abort, not close: neither a failed run nor a failed
+            # close (e.g. the jsonl rename target is a directory) may
+            # finalize output or leak the sink's temp file
+            if not getattr(sink, "closed", False):
+                release = getattr(sink, "abort", None) or getattr(
+                    sink, "close", None
+                )
+                if release is not None:
+                    release()
+            raise
+        summary = getattr(sink, "summary", None)
+        if summary is not None:
+            report = summary()
+            result.counters.extra["sink_cliques"] = report.get(
+                "cliques", 0
+            )
+            result.counters.extra["sink_max_size"] = report.get(
+                "max_size", 0
+            )
+        return result
+
     @staticmethod
     def backends() -> list[str]:
         """Names of every registered backend."""

@@ -21,6 +21,38 @@ from repro.errors import ParameterError
 __all__ = ["EnumerationConfig"]
 
 
+def _stable_key(value: Any):
+    """An order-insensitive, hash/eq-consistent stand-in for ``value``.
+
+    Containers whose equality crosses hashability lines are unified
+    *before* the hashable fast path — ``frozenset({1}) == {1}`` and a
+    hashable Mapping equal to a plain dict must produce the same key —
+    and are canonically sorted, so two equal options dicts built in
+    different insertion orders agree.  Everything else collapses to its
+    hash (``1`` and ``1.0`` compare equal and hash equal, so they stay
+    consistent; ``tuple`` never equals ``list``, so their different
+    tags are safe).  The leading tag keeps the sort inside
+    mappings/sets well-defined for mixed types.
+    """
+    if isinstance(value, Mapping):
+        return (
+            "m",
+            tuple(sorted(
+                (_stable_key(k), _stable_key(v))
+                for k, v in value.items()
+            )),
+        )
+    if isinstance(value, (set, frozenset)):
+        return ("s", tuple(sorted(_stable_key(v) for v in value)))
+    try:
+        return ("h", hash(value))
+    except TypeError:
+        pass
+    if isinstance(value, (list, tuple)):
+        return ("l", tuple(_stable_key(v) for v in value))
+    return ("r", repr(value))
+
+
 @dataclass(frozen=True)
 class EnumerationConfig:
     """Everything a backend needs to know about one enumeration run.
@@ -95,9 +127,12 @@ class EnumerationConfig:
 
     def __hash__(self) -> int:
         # the frozen dataclass's auto-hash would choke on the options
-        # dict; hash its sorted items instead (values must be hashable
-        # for the config to be usable as a cache key, which is the
-        # point of hashing a config at all)
+        # dict; hash its canonical :func:`_stable_key` instead.  The
+        # canonical key is used unconditionally — a fast path for
+        # all-hashable options would hash equal values differently
+        # (frozenset vs set) depending on which path they took,
+        # breaking the hash/eq contract the service ResultCache dict
+        # key depends on.
         return hash((
             self.backend,
             self.k_min,
@@ -105,7 +140,7 @@ class EnumerationConfig:
             self.max_cliques,
             self.max_candidate_bytes,
             self.jobs,
-            tuple(sorted(self.options.items())),
+            _stable_key(self.options),
         ))
 
     def with_backend(self, backend: str) -> "EnumerationConfig":

@@ -47,5 +47,9 @@ class SolverError(ReproError):
     """An exact solver failed to certify a solution (internal invariant)."""
 
 
+class ServiceError(ReproError):
+    """A job-service request failed (transport error or refused op)."""
+
+
 class AlignmentError(ReproError):
     """Sequence or pathway alignment received inconsistent inputs."""

@@ -1,0 +1,74 @@
+"""Enumeration job service: queued batch enumeration over the engine.
+
+The ROADMAP's "heavy traffic" north-star entry point: a long-lived
+service that accepts enumeration jobs (graph +
+:class:`~repro.engine.config.EnumerationConfig`), dispatches them
+through the PR-1 engine layer on a thread pool, streams cliques into
+pluggable sinks, and serves repeated queries from a graph/config-keyed
+result cache.  Three cooperating pieces plus a network face:
+
+* :mod:`~repro.service.jobs` — frozen :class:`JobSpec`, the
+  ``PENDING → RUNNING → DONE | FAILED | CANCELLED`` :class:`Job`
+  lifecycle;
+* :mod:`~repro.service.sinks` — streaming :class:`CliqueSink`\\ s
+  (``collect`` / ``count`` / ``top_k:N`` / ``jsonl:PATH``) riding the
+  engine's existing ``on_clique`` callback;
+* :mod:`~repro.service.cache` — LRU :class:`ResultCache` keyed by
+  (graph fingerprint, config), so threshold sweeps re-serve instantly;
+* :mod:`~repro.service.scheduler` — the priority-queue
+  :class:`JobScheduler` thread pool;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — the
+  JSON-lines protocol behind ``repro serve`` and the blocking
+  :class:`ServiceClient`.
+
+Quickstart (in-process)::
+
+    from repro.service import JobScheduler, JobSpec
+    from repro.engine import EnumerationConfig
+
+    with JobScheduler(workers=4) as sched:
+        job = sched.submit(JobSpec(graph=g, config=EnumerationConfig(k_min=3)))
+        print(job.wait().result.cliques)
+
+Quickstart (over the wire)::
+
+    from repro.service import EnumerationServer, ServiceClient
+
+    with EnumerationServer() as server:
+        with ServiceClient(server.address) as client:
+            job_id = client.submit("ppi.json", k_min=3, sink="count")
+            print(client.wait(job_id)["sink_summary"])
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient
+from repro.service.jobs import Job, JobSpec, JobStatus
+from repro.service.scheduler import JobScheduler
+from repro.service.server import EnumerationServer, serve
+from repro.service.sinks import (
+    CliqueSink,
+    CollectSink,
+    CountSink,
+    JsonlSink,
+    TopKSink,
+    make_sink,
+    validate_sink_spec,
+)
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "JobStatus",
+    "JobScheduler",
+    "ResultCache",
+    "CliqueSink",
+    "CollectSink",
+    "CountSink",
+    "TopKSink",
+    "JsonlSink",
+    "make_sink",
+    "validate_sink_spec",
+    "EnumerationServer",
+    "ServiceClient",
+    "serve",
+]

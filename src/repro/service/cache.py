@@ -1,0 +1,158 @@
+"""Graph/config-keyed LRU cache of enumeration results.
+
+Threshold sweeps and per-gene module lookups hit the same (graph,
+config) pair over and over; Fabregat-Traver & Bientinesi's observation
+— genome-scale throughput comes from amortizing shared computation
+across related queries — applies directly.  The cache keys on the
+graph's content fingerprint (:func:`repro.core.graph_io.
+graph_fingerprint`) plus the hashable
+:class:`~repro.engine.config.EnumerationConfig`, so a mutated graph or
+a changed knob can never serve a stale result, while re-loading the
+same file or rebuilding an identical graph still hits.
+
+Hit/miss/eviction tallies fold into the shared
+:class:`~repro.core.counters.OpCounters` ``extra`` channel (see
+:meth:`ResultCache.fold_into`), so service-level reports read like
+every other operation count in the repo.
+
+Cached :class:`~repro.core.clique_enumerator.EnumerationResult`
+objects are shared between hits — treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.core.clique_enumerator import EnumerationResult
+from repro.core.counters import OpCounters
+from repro.core.graph import Graph
+from repro.core.graph_io import graph_fingerprint
+from repro.engine.api import EnumerationEngine
+from repro.engine.config import EnumerationConfig
+from repro.errors import ParameterError
+
+__all__ = ["ResultCache"]
+
+#: cache key: (graph content fingerprint, the hashable config itself —
+#: the hash buckets, equality guards against collisions).
+CacheKey = tuple[str, EnumerationConfig]
+
+
+class ResultCache:
+    """Bounded LRU cache of :class:`EnumerationResult` by (graph, config).
+
+    Thread-safe: the job scheduler's workers share one instance.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU bound; the least-recently-used entry is evicted when a
+        ``put`` would exceed it.  Must be >= 1.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ParameterError(
+                f"cache needs max_entries >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: OrderedDict[CacheKey, EnumerationResult] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- keying --------------------------------------------------------------
+
+    @staticmethod
+    def key(g: Graph, config: EnumerationConfig) -> CacheKey:
+        """The cache key for a (graph, config) pair."""
+        return (graph_fingerprint(g), config)
+
+    # -- primitive access ----------------------------------------------------
+
+    def get(
+        self, fingerprint: str, config: EnumerationConfig
+    ) -> EnumerationResult | None:
+        """Look up by precomputed fingerprint; counts the hit or miss."""
+        with self._lock:
+            result = self._entries.get((fingerprint, config))
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((fingerprint, config))
+            self.hits += 1
+            return result
+
+    def put(
+        self,
+        fingerprint: str,
+        config: EnumerationConfig,
+        result: EnumerationResult,
+    ) -> None:
+        """Insert (or refresh) an entry, evicting LRU past the bound."""
+        with self._lock:
+            key = (fingerprint, config)
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    # -- convenience ---------------------------------------------------------
+
+    def run(
+        self,
+        engine: EnumerationEngine,
+        g: Graph,
+        config: EnumerationConfig,
+    ) -> tuple[EnumerationResult, bool]:
+        """Get-or-compute: ``(result, was_hit)``.
+
+        On a miss the engine runs with cliques collected (no sink), and
+        the result is cached.  This is the standalone entry point for
+        sweep scripts that do not go through the job scheduler.
+        """
+        fingerprint = graph_fingerprint(g)
+        cached = self.get(fingerprint, config)
+        if cached is not None:
+            return cached, True
+        result = engine.run(g, config)
+        self.put(fingerprint, config, result)
+        return result, False
+
+    # -- accounting ----------------------------------------------------------
+
+    def fold_into(self, counters: OpCounters) -> None:
+        """Add the cache tallies to an :class:`OpCounters` ``extra``."""
+        for name, value in (
+            ("cache_hits", self.hits),
+            ("cache_misses", self.misses),
+            ("cache_evictions", self.evictions),
+        ):
+            counters.extra[name] = counters.extra.get(name, 0) + value
+
+    def stats(self) -> dict:
+        """Snapshot for reports and the service ``stats`` op."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry (tallies are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries

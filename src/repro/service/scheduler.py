@@ -1,0 +1,407 @@
+"""Thread-pool job scheduler: the service's dispatch loop.
+
+Workers pull :class:`~repro.service.jobs.Job` records off a priority
+queue and dispatch them through one shared
+:class:`~repro.engine.api.EnumerationEngine` — the scheduler is a thin
+orchestration layer, exactly what the PR-1 engine refactor was built
+for.  Per-job resource budgets ride on the existing
+:class:`~repro.errors.BudgetExceeded` path (a tripped budget fails the
+job, never the worker), cancellation is cooperative through the sink
+callback, and :meth:`JobScheduler.drain` provides a graceful
+stop-accepting-then-finish shutdown.
+
+Caching: jobs run with ``use_cache=True`` consult the scheduler's
+:class:`~repro.service.cache.ResultCache`.  A hit replays the cached
+cliques through the job's sink — so even a ``jsonl`` job is served
+from cache with its file fully written — and skips enumeration
+entirely.  Only ``collect`` jobs *populate* the cache (their results
+carry the cliques a replay needs); streaming-sink jobs exist to avoid
+materializing output, so they are never forced to collect just to warm
+the cache.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import replace
+from pathlib import Path
+
+from repro.errors import BudgetExceeded, ParameterError, ReproError
+from repro.core.counters import OpCounters
+from repro.core.graph import Graph
+from repro.core.graph_io import graph_fingerprint, load as load_graph
+from repro.engine.api import EnumerationEngine
+from repro.service.cache import ResultCache
+from repro.service.jobs import Job, JobSpec, JobStatus
+from repro.service.sinks import CollectSink, make_sink
+
+__all__ = ["JobScheduler"]
+
+
+class _Cancelled(Exception):
+    """Internal: raised inside the emit path to abort a running job."""
+
+
+#: queue sentinel that tells a worker to exit; sorts after every job
+#: entry so queued work drains before workers stop.
+_SHUTDOWN_PRIORITY = (1, 0)
+
+
+class JobScheduler:
+    """Priority-queued thread pool running enumeration jobs.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count.  Enumeration is numpy-heavy, so threads
+        overlap usefully despite the GIL; a job needing process-level
+        parallelism uses the ``"multiprocess"`` backend *inside* its
+        config.  Caveat inherited from that backend: it collects the
+        full clique set in the parent before replaying it through the
+        sink, so streaming sinks do not bound its memory and
+        cooperative cancellation only takes effect once the
+        distributed enumeration finishes — for genome-scale streaming
+        or promptly-cancellable jobs, prefer the sequential backends.
+    cache:
+        A :class:`ResultCache` to share, ``None`` to disable caching
+        entirely, or leave unset for a fresh default cache.
+    engine:
+        The engine facade to dispatch through (a default one if unset).
+    retain_jobs:
+        Bound on retained job records: once exceeded, the *oldest
+        terminal* jobs (and their attached results) are pruned so a
+        long-lived service cannot grow without bound.  Pruned ids
+        disappear from :meth:`jobs` and :meth:`get`.  In-flight jobs
+        are never pruned.
+    graph_cache_size:
+        LRU bound on the (path, mtime)-keyed memo of loaded graphs.
+
+    Use as a context manager for deterministic shutdown::
+
+        with JobScheduler(workers=4) as sched:
+            jobs = [sched.submit(spec) for spec in specs]
+            sched.drain()
+    """
+
+    _DEFAULT_CACHE = object()
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache: ResultCache | None = _DEFAULT_CACHE,  # type: ignore[assignment]
+        engine: EnumerationEngine | None = None,
+        retain_jobs: int = 1024,
+        graph_cache_size: int = 16,
+    ):
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if retain_jobs < 1:
+            raise ParameterError(
+                f"retain_jobs must be >= 1, got {retain_jobs}"
+            )
+        if graph_cache_size < 1:
+            raise ParameterError(
+                f"graph_cache_size must be >= 1, got {graph_cache_size}"
+            )
+        self.engine = engine if engine is not None else EnumerationEngine()
+        self.cache = (
+            ResultCache() if cache is self._DEFAULT_CACHE else cache
+        )
+        self.n_workers = workers
+        self.retain_jobs = retain_jobs
+        self.graph_cache_size = graph_cache_size
+        self._queue: queue.PriorityQueue = queue.PriorityQueue()
+        self._jobs: dict[str, Job] = {}
+        # (path, mtime) -> (Graph, fingerprint): the fingerprint is
+        # memoized with the graph so a sweep of jobs against one file
+        # hashes its adjacency bitmap once, not once per job
+        self._graphs: OrderedDict[
+            tuple[str, int], tuple[Graph, str]
+        ] = OrderedDict()
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._accepting = True
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"enum-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Queue one job; returns its :class:`Job` record immediately."""
+        with self._lock:
+            if not self._accepting:
+                raise ParameterError(
+                    "scheduler is shut down; no new jobs accepted"
+                )
+            seq = next(self._seq)
+            job = Job(f"job-{seq:06d}", spec)
+            self._jobs[job.id] = job
+            self._prune_jobs_locked()
+            # enqueue under the lock: a concurrent shutdown(wait=True)
+            # must not queue its sentinels (and join the workers)
+            # between the _accepting check and this put, or the job
+            # would sit PENDING forever behind exited workers.
+            # sort key: shutdown sentinels last, then higher priority
+            # first, then submission order
+            self._queue.put(((0, -spec.priority, seq), job))
+        return job
+
+    def _prune_jobs_locked(self) -> None:
+        excess = len(self._jobs) - self.retain_jobs
+        if excess <= 0:
+            return
+        # _jobs is insertion-ordered (submissions append under the
+        # lock), so iterating it walks oldest-first — unlike sorting
+        # the zero-padded ids, this stays correct past job-999999
+        for job_id in list(self._jobs):
+            if excess <= 0:
+                break
+            if self._jobs[job_id].done:
+                del self._jobs[job_id]
+                excess -= 1
+
+    def submit_batch(self, specs: list[JobSpec]) -> list[Job]:
+        """Queue many jobs at once (a sweep); returns their records."""
+        return [self.submit(spec) for spec in specs]
+
+    # -- observation ---------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        """Look up a job by id; raises on unknown ids."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ParameterError(f"unknown job id {job_id!r}") from None
+
+    def jobs(self) -> list[Job]:
+        """Every retained job, in submission (insertion) order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counters(self) -> OpCounters:
+        """Aggregate operation counters over finished jobs + cache tallies.
+
+        Cache-hit jobs contribute nothing here (their work was done by
+        the original run); the hit itself shows up in the folded
+        ``cache_hits`` tally.
+        """
+        agg = OpCounters()
+        for job in self.jobs():
+            if job.status is JobStatus.DONE and not job.cache_hit:
+                agg.merge(job.result.counters)
+        if self.cache is not None:
+            self.cache.fold_into(agg)
+        return agg
+
+    def stats(self) -> dict:
+        """Queue depth, per-status counts, and cache stats."""
+        by_status: dict[str, int] = {s.value: 0 for s in JobStatus}
+        for job in self.jobs():
+            by_status[job.status.value] += 1
+        return {
+            "workers": self.n_workers,
+            "queued": self._queue.qsize(),
+            "jobs": by_status,
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }
+
+    # -- control -------------------------------------------------------------
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job: immediately when pending, cooperatively when
+        running (the next emission aborts it).  Returns False when the
+        job is already terminal."""
+        job = self.get(job_id)
+        with self._lock:
+            if job.status is JobStatus.PENDING:
+                job._cancel.set()
+                job._finish(JobStatus.CANCELLED)
+                return True
+        if job.status is JobStatus.RUNNING:
+            job._cancel.set()
+            return True
+        return False
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every submitted job is terminal.
+
+        Raises ``TimeoutError`` when the deadline passes with work
+        still in flight.  New submissions stay allowed — call
+        :meth:`shutdown` for a terminal drain.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for job in self.jobs():
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                raise TimeoutError("drain timed out with jobs in flight")
+            job.wait(remaining)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; optionally finish the queue and join.
+
+        With ``wait=True`` queued work completes first (the shutdown
+        sentinels sort after every job).  With ``wait=False`` every
+        unfinished job is cancelled — pending ones immediately, running
+        ones at their next emission (their sinks are aborted, so no
+        partial output is finalized) — and workers exit right after.
+        """
+        with self._lock:
+            if not self._accepting:
+                return
+            self._accepting = False
+        if not wait:
+            for job in self.jobs():
+                if not job.done:
+                    self.cancel(job.id)
+        for _ in self._threads:
+            # unique seq keeps heap entries totally ordered by key, so
+            # the (unorderable) None payloads are never compared
+            self._queue.put((_SHUTDOWN_PRIORITY + (next(self._seq),), None))
+        for t in self._threads:
+            t.join()
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None)
+
+    # -- worker loop ---------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            _, job = self._queue.get()
+            if job is None:
+                return
+            # claim PENDING -> RUNNING under the same lock cancel()
+            # holds, so a pending cancellation and a worker pickup can
+            # never both win the job
+            with self._lock:
+                if job.done:  # cancelled while pending
+                    continue
+                job._mark_running()
+            self._run_job(job)
+
+    def _resolve_graph(
+        self, ref: Graph | str | Path
+    ) -> tuple[Graph, str | None]:
+        """Resolve a graph ref to ``(graph, fingerprint-or-None)``.
+
+        Path references are loaded and LRU-memoized by (path, mtime)
+        together with their content fingerprint; in-memory graphs
+        return no fingerprint (the caller computes one only when the
+        job is actually cacheable).
+        """
+        if isinstance(ref, Graph):
+            return ref, None
+        path = str(ref)
+        key = (path, os.stat(path).st_mtime_ns)
+        with self._lock:
+            entry = self._graphs.get(key)
+            if entry is not None:
+                self._graphs.move_to_end(key)
+                return entry
+        g = load_graph(path)
+        entry = (g, graph_fingerprint(g))
+        with self._lock:
+            self._graphs[key] = entry
+            while len(self._graphs) > self.graph_cache_size:
+                self._graphs.popitem(last=False)
+        return entry
+
+    def _run_job(self, job: Job) -> None:
+        # the worker loop already claimed the job (status RUNNING)
+        sink = None
+        try:
+            g, fingerprint = self._resolve_graph(job.spec.graph)
+            sink = make_sink(job.spec.sink)
+
+            def emit(clique: tuple[int, ...]) -> None:
+                if job._cancel.is_set():
+                    raise _Cancelled
+                sink(clique)
+
+            cacheable = job.spec.use_cache and self.cache is not None
+            if cacheable and fingerprint is None:
+                fingerprint = graph_fingerprint(g)
+            if cacheable:
+                cached = self.cache.get(fingerprint, job.spec.config)
+                if cached is not None:
+                    for clique in cached.cliques:
+                        emit(clique)
+                    if job._cancel.is_set():
+                        raise _Cancelled
+                    sink.close()
+                    # publish sink_summary before result: to_dict keys
+                    # off `result is not None`, so a concurrent status
+                    # poll must never see the result without the
+                    # summary (it would report n_cliques=0).  And a
+                    # streaming-sink job must not expose the cached
+                    # clique list through the `result` op — hit and
+                    # miss have to produce the same (clique-less)
+                    # payload, since the sink was chosen to avoid
+                    # materializing exactly that list.
+                    job.cache_hit = True
+                    job.sink_summary = sink.summary()
+                    job.result = (
+                        cached
+                        if isinstance(sink, CollectSink)
+                        else replace(cached, cliques=[])
+                    )
+                    job._finish(JobStatus.DONE)
+                    return
+
+            result = self.engine.run(g, job.spec.config, on_clique=emit)
+            # emit() only sees the cancel flag when cliques flow; a
+            # run with no (further) emissions must still honour a
+            # cancellation acknowledged while it was RUNNING — and
+            # must not finalize its sink
+            if job._cancel.is_set():
+                raise _Cancelled
+            if isinstance(sink, CollectSink):
+                # the collected cliques *are* the canonical result —
+                # and what a future cache hit replays
+                result.cliques = sink.cliques
+                if cacheable:
+                    self.cache.put(fingerprint, job.spec.config, result)
+            sink.close()
+            # summary before result — see the cache-hit branch above
+            job.sink_summary = sink.summary()
+            job.result = result
+            job._finish(JobStatus.DONE)
+        except _Cancelled:
+            job._finish(JobStatus.CANCELLED)
+        except BudgetExceeded as exc:
+            job._finish(
+                JobStatus.FAILED,
+                f"budget exceeded: {exc} "
+                f"(emitted={exc.emitted}, level={exc.level})",
+            )
+        except (ReproError, OSError) as exc:
+            job._finish(JobStatus.FAILED, str(exc))
+        except Exception as exc:  # noqa: BLE001 — a worker must survive
+            job._finish(
+                JobStatus.FAILED, f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            # a sink still open here belongs to a failed/cancelled run:
+            # abort, never finalize (a close would e.g. truncate a
+            # previous good jsonl output on a zero-emission failure)
+            if sink is not None and not sink.closed:
+                try:
+                    sink.abort()
+                except OSError:
+                    pass

@@ -1,0 +1,271 @@
+"""Streaming clique sinks: where emitted cliques go, without RAM.
+
+The paper's genome-scale runs emit clique sets far larger than memory
+(the Section 4 graphs produce outputs "on the order of terabytes"), so
+collection must be a *choice*, not the default data path.  A
+:class:`CliqueSink` is a callable that plugs straight into the engine's
+existing ``on_clique`` streaming callback — every backend already
+supports it — and adds uniform accounting (total and per-size counts)
+plus a lifecycle (``close``) and a report (``summary``).
+
+Built-in sinks:
+
+* :class:`CollectSink` — keep every clique in RAM (the classic result);
+* :class:`CountSink` — per-size counts only, O(1) memory;
+* :class:`TopKSink` — the ``k`` largest cliques via a bounded heap;
+* :class:`JsonlSink` — stream each clique as one JSON line to disk.
+
+:func:`make_sink` parses the compact spec strings used by the CLI
+(``repro enumerate --sink top_k:10``) and the job service
+(``JobSpec.sink``): ``collect``, ``count``, ``top_k:N``,
+``jsonl:PATH``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "CliqueSink",
+    "CollectSink",
+    "CountSink",
+    "TopKSink",
+    "JsonlSink",
+    "make_sink",
+    "validate_sink_spec",
+]
+
+
+class CliqueSink:
+    """Base class: a callable clique consumer with uniform accounting.
+
+    Subclasses implement :meth:`_accept`; the base ``__call__`` keeps
+    the total and per-size tallies so every sink reports the same
+    :meth:`summary` core regardless of what it retains.  Sinks are the
+    engine's ``on_clique`` callbacks, so one instance is single-use:
+    feed it one run, ``close()`` it, read the summary.
+    """
+
+    #: the spec string that recreates this sink via :func:`make_sink`.
+    spec: str = "sink"
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.by_size: dict[int, int] = {}
+        self.closed = False
+
+    def __call__(self, clique: tuple[int, ...]) -> None:
+        self.count += 1
+        size = len(clique)
+        self.by_size[size] = self.by_size.get(size, 0) + 1
+        self._accept(clique)
+
+    def _accept(self, clique: tuple[int, ...]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Finalize after a successful run; further emissions are a
+        caller bug."""
+        self.closed = True
+
+    def abort(self) -> None:
+        """Release resources after a *failed* run.
+
+        Unlike :meth:`close`, an abort must not finalize output — a
+        sink that writes files on close would otherwise clobber a
+        previous good run's output with the debris of a failed one.
+        """
+        self.close()
+
+    @property
+    def max_size(self) -> int:
+        """Largest clique size seen (0 when none)."""
+        return max(self.by_size, default=0)
+
+    def summary(self) -> dict:
+        """Uniform report: spec, totals, per-size counts, extras."""
+        out = {
+            "sink": self.spec,
+            "cliques": self.count,
+            "max_size": self.max_size,
+            "by_size": {str(k): v for k, v in sorted(self.by_size.items())},
+        }
+        out.update(self._extra_summary())
+        return out
+
+    def _extra_summary(self) -> dict:
+        return {}
+
+    def __enter__(self) -> "CliqueSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # an exception in the with-body is a failed run: abort, never
+        # finalize (close() would rename partial jsonl debris over a
+        # previous good output)
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+class CollectSink(CliqueSink):
+    """Keep every clique in memory — the classic collected result."""
+
+    spec = "collect"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cliques: list[tuple[int, ...]] = []
+
+    def _accept(self, clique: tuple[int, ...]) -> None:
+        self.cliques.append(clique)
+
+
+class CountSink(CliqueSink):
+    """Per-size counts only: O(1) memory whatever the output volume."""
+
+    spec = "count"
+
+    def _accept(self, clique: tuple[int, ...]) -> None:
+        pass
+
+
+class TopKSink(CliqueSink):
+    """The ``k`` largest cliques, via a bounded min-heap.
+
+    Ties at the boundary size are broken canonically (the
+    lexicographically larger vertex tuple wins), so identical emission
+    sets give identical top-k whatever the backend.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ParameterError(f"top_k sink needs k >= 1, got {k}")
+        super().__init__()
+        self.k = k
+        self.spec = f"top_k:{k}"
+        self._heap: list[tuple[int, tuple[int, ...]]] = []
+
+    def _accept(self, clique: tuple[int, ...]) -> None:
+        item = (len(clique), clique)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, item)
+        elif item > self._heap[0]:
+            heapq.heapreplace(self._heap, item)
+
+    @property
+    def top(self) -> list[tuple[int, ...]]:
+        """The retained cliques, largest first."""
+        return [c for _, c in sorted(self._heap, reverse=True)]
+
+    def _extra_summary(self) -> dict:
+        return {"k": self.k, "top": [list(c) for c in self.top]}
+
+
+class JsonlSink(CliqueSink):
+    """Stream each clique to disk as one JSON array per line.
+
+    Writes stream into a sibling ``.partial`` temp file (opened lazily
+    on the first emission) that is atomically renamed over the target
+    on :meth:`close` — so the target path either keeps its previous
+    content or holds one complete run, never the debris of a failed or
+    interrupted one.  At no point does the clique set exist in memory.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.spec = f"jsonl:{self.path}"
+        self.bytes_written = 0
+        self._fh = None
+        self._tmp = self.path.with_name(
+            f"{self.path.name}.{os.getpid()}-{id(self):x}.partial"
+        )
+
+    def _accept(self, clique: tuple[int, ...]) -> None:
+        if self._fh is None:
+            self._fh = self._tmp.open("w")
+        line = json.dumps(list(clique), separators=(",", ":")) + "\n"
+        self._fh.write(line)
+        self.bytes_written += len(line)
+
+    def close(self) -> None:
+        if self._fh is None:
+            # a successful empty run still leaves a well-formed
+            # (empty) file
+            self.path.write_text("")
+        else:
+            # keep _fh set until the rename lands: if os.replace fails
+            # (target is a directory, dir vanished), abort() must still
+            # see an open run and clean up the .partial file
+            self._fh.close()
+            os.replace(self._tmp, self.path)
+            self._fh = None
+        super().close()
+
+    def abort(self) -> None:
+        # drop the partial temp file; the target path keeps whatever a
+        # previous successful run put there
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+            self._tmp.unlink(missing_ok=True)
+        self.closed = True
+
+    def _extra_summary(self) -> dict:
+        return {"path": str(self.path), "bytes_written": self.bytes_written}
+
+
+def _parse(spec: str) -> tuple[str, str | None]:
+    name, sep, arg = spec.partition(":")
+    return name.strip(), (arg if sep else None)
+
+
+def make_sink(spec: str) -> CliqueSink:
+    """Build a sink from a compact spec string.
+
+    Accepted specs: ``collect``, ``count``, ``top_k:N`` (N >= 1),
+    ``jsonl:PATH``.  Raises :class:`~repro.errors.ParameterError` on
+    anything else — including a missing argument.
+    """
+    if not isinstance(spec, str) or not spec:
+        raise ParameterError(f"sink spec must be a non-empty string, got {spec!r}")
+    name, arg = _parse(spec)
+    if name == "collect" and arg is None:
+        return CollectSink()
+    if name == "count" and arg is None:
+        return CountSink()
+    if name == "top_k":
+        if not arg:
+            raise ParameterError("top_k sink needs a count: top_k:N")
+        try:
+            k = int(arg)
+        except ValueError:
+            raise ParameterError(
+                f"top_k count must be an integer, got {arg!r}"
+            ) from None
+        return TopKSink(k)
+    if name == "jsonl":
+        if not arg:
+            raise ParameterError("jsonl sink needs a path: jsonl:PATH")
+        return JsonlSink(arg)
+    raise ParameterError(
+        f"unknown sink spec {spec!r}; expected collect, count, "
+        "top_k:N, or jsonl:PATH"
+    )
+
+
+def validate_sink_spec(spec: str) -> str:
+    """Check a spec parses; return it unchanged.
+
+    Sink construction is side-effect free (the jsonl file opens lazily
+    on first emission), so validation just constructs and discards.
+    """
+    make_sink(spec)
+    return spec

@@ -134,3 +134,43 @@ class TestCoexpressionCliques:
         _, enum = coexpression_cliques(dataset, threshold=0.8)
         assert enum.k_min == 3
         assert all(len(c) >= 3 for c in enum.cliques)
+
+
+class TestSweepJobBatches:
+    def test_sweep_matches_direct_pipeline(self, dataset):
+        from repro.service import JobScheduler, JobStatus
+        from repro.bio.coexpression import submit_coexpression_sweep
+
+        thresholds = [0.9, 0.8]
+        with JobScheduler(workers=2) as sched:
+            jobs = submit_coexpression_sweep(
+                sched, dataset, thresholds, sink="count"
+            )
+            sched.drain(60)
+        assert [j.status for j in jobs] == [JobStatus.DONE] * 2
+        assert [j.spec.label for j in jobs] == [
+            "coexpression@0.9", "coexpression@0.8"
+        ]
+        for threshold, job in zip(thresholds, jobs):
+            _, direct = coexpression_cliques(dataset, threshold=threshold)
+            assert job.sink_summary["cliques"] == len(direct.cliques)
+
+    def test_repeated_threshold_hits_cache(self, dataset):
+        from repro.service import JobScheduler
+        from repro.bio.coexpression import submit_coexpression_sweep
+
+        with JobScheduler(workers=1) as sched:
+            jobs = submit_coexpression_sweep(
+                sched, dataset, [0.8, 0.8], sink="collect"
+            )
+            sched.drain(60)
+        assert not jobs[0].cache_hit
+        assert jobs[1].cache_hit
+
+    def test_empty_sweep_rejected(self, dataset):
+        from repro.service import JobScheduler
+        from repro.bio.coexpression import submit_coexpression_sweep
+
+        with JobScheduler(workers=1) as sched:
+            with pytest.raises(ParameterError, match="threshold"):
+                submit_coexpression_sweep(sched, dataset, [])

@@ -161,3 +161,51 @@ class TestDispatch:
             graph_io.save(sample, tmp_path / "g.xyz")
         with pytest.raises(ParseError, match="unknown graph format"):
             graph_io.load(tmp_path / "g.xyz")
+
+
+class TestGraphFingerprint:
+    def test_deterministic(self, sample):
+        assert graph_io.graph_fingerprint(sample) == (
+            graph_io.graph_fingerprint(sample)
+        )
+
+    def test_content_keyed_not_identity_keyed(self, sample):
+        assert graph_io.graph_fingerprint(sample.copy()) == (
+            graph_io.graph_fingerprint(sample)
+        )
+
+    def test_construction_order_irrelevant(self):
+        a = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        b = Graph.from_edges(4, [(2, 3), (0, 1), (1, 2)])
+        assert graph_io.graph_fingerprint(a) == graph_io.graph_fingerprint(b)
+
+    def test_edge_mutation_changes_fingerprint(self, sample):
+        before = graph_io.graph_fingerprint(sample)
+        mutated = sample.copy()
+        u, v = next(
+            (u, v)
+            for u in range(sample.n)
+            for v in range(u + 1, sample.n)
+            if not sample.has_edge(u, v)
+        )
+        mutated.add_edge(u, v)
+        assert graph_io.graph_fingerprint(mutated) != before
+        mutated.remove_edge(u, v)
+        assert graph_io.graph_fingerprint(mutated) == before
+
+    def test_vertex_count_matters(self):
+        assert graph_io.graph_fingerprint(Graph(3)) != (
+            graph_io.graph_fingerprint(Graph(4))
+        )
+
+    def test_survives_io_round_trip(self, sample, tmp_path):
+        p = tmp_path / "g.json"
+        graph_io.save(sample, p)
+        assert graph_io.graph_fingerprint(graph_io.load(p)) == (
+            graph_io.graph_fingerprint(sample)
+        )
+
+    def test_is_hex_sha256(self, sample):
+        fp = graph_io.graph_fingerprint(sample)
+        assert len(fp) == 64
+        int(fp, 16)  # raises if not hex

@@ -76,6 +76,59 @@ class TestConfig:
         assert hash(a) == hash(b)
         assert len({a, b}) == 1
 
+    def test_hashable_with_unhashable_option_values(self):
+        """Regression: a list-valued option (e.g. spill dirs) used to
+        raise TypeError from __hash__."""
+        a = EnumerationConfig(
+            backend="ooc", options={"dirs": ["/tmp/a", "/tmp/b"]}
+        )
+        b = EnumerationConfig(
+            backend="ooc", options={"dirs": ["/tmp/a", "/tmp/b"]}
+        )
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+        c = EnumerationConfig(backend="ooc", options={"dirs": ["/tmp/c"]})
+        assert a != c
+
+    def test_hashable_with_mixed_type_option_keys(self):
+        """Regression: mixed-type keys broke sorted() inside __hash__."""
+        a = EnumerationConfig(options={1: "x", "z": 2})
+        b = EnumerationConfig(options={"z": 2, 1: "x"})
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_hash_fallback_still_usable_as_dict_key(self):
+        cfg = EnumerationConfig(options={"dirs": ["/tmp/a"]})
+        table = {cfg: "cached"}
+        same = EnumerationConfig(options={"dirs": ["/tmp/a"]})
+        assert table[same] == "cached"
+
+    def test_hash_eq_contract_with_nested_dict_insertion_order(self):
+        """Regression: equal configs whose unhashable option values are
+        dicts built in different insertion orders must hash equal."""
+        a = EnumerationConfig(options={"m": {"a": 1, "b": 2}, "l": [0]})
+        b = EnumerationConfig(options={"m": {"b": 2, "a": 1}, "l": [0]})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_hash_eq_contract_with_numeric_type_mix(self):
+        """[1] == [1.0] implies the configs are equal; their hashes
+        must agree (hash(1) == hash(1.0) carries through)."""
+        a = EnumerationConfig(options={"x": [1]})
+        b = EnumerationConfig(options={"x": [1.0]})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_hash_eq_contract_across_hashability_lines(self):
+        """frozenset({1}) == {1}: equal configs must hash equal even
+        when one option value is hashable and the other is not."""
+        a = EnumerationConfig(options={"x": frozenset({1})})
+        b = EnumerationConfig(options={"x": {1}})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert {a: "cached"}[b] == "cached"
+
     def test_jobs_rejected_by_sequential_backends(self, triangle):
         for backend in ("incore", "bitscan", "ooc"):
             with pytest.raises(ParameterError, match="sequential"):

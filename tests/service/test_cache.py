@@ -1,0 +1,128 @@
+"""Result-cache semantics: hits, misses, LRU eviction, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.counters import OpCounters
+from repro.core.generators import complete_graph, erdos_renyi
+from repro.core.graph_io import graph_fingerprint
+from repro.engine import EnumerationConfig, EnumerationEngine
+from repro.errors import ParameterError
+from repro.service.cache import ResultCache
+
+ENGINE = EnumerationEngine()
+
+
+@pytest.fixture
+def g():
+    return erdos_renyi(25, 0.3, seed=4)
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, g):
+        cache = ResultCache()
+        cfg = EnumerationConfig(k_min=2)
+        first, hit1 = cache.run(ENGINE, g, cfg)
+        again, hit2 = cache.run(ENGINE, g, cfg)
+        assert (hit1, hit2) == (False, True)
+        assert again is first  # served without re-enumeration
+        assert cache.stats() == {
+            "entries": 1, "max_entries": 128,
+            "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_different_config_misses(self, g):
+        cache = ResultCache()
+        cache.run(ENGINE, g, EnumerationConfig(k_min=2))
+        _, hit = cache.run(ENGINE, g, EnumerationConfig(k_min=3))
+        assert not hit
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_equal_graph_rebuilt_elsewhere_hits(self, g):
+        cache = ResultCache()
+        cfg = EnumerationConfig(k_min=2)
+        cache.run(ENGINE, g, cfg)
+        _, hit = cache.run(ENGINE, g.copy(), cfg)
+        assert hit  # content-keyed, not identity-keyed
+
+    def test_fingerprint_invalidation_after_mutation(self, g):
+        cache = ResultCache()
+        cfg = EnumerationConfig(k_min=2)
+        cache.run(ENGINE, g, cfg)
+        mutated = g.copy()
+        u = 0
+        v = next(x for x in range(1, g.n) if not g.has_edge(u, x))
+        mutated.add_edge(u, v)
+        result, hit = cache.run(ENGINE, mutated, cfg)
+        assert not hit  # the stale entry must not be served
+        assert sorted(result.cliques) == sorted(
+            ENGINE.run(mutated, cfg).cliques
+        )
+
+    def test_fingerprint_restored_after_reverting_mutation(self, g):
+        cfg = EnumerationConfig(k_min=2)
+        fp = graph_fingerprint(g)
+        mutated = g.copy()
+        v = next(x for x in range(1, g.n) if not g.has_edge(0, x))
+        mutated.add_edge(0, v)
+        assert graph_fingerprint(mutated) != fp
+        mutated.remove_edge(0, v)
+        assert graph_fingerprint(mutated) == fp
+
+
+class TestEviction:
+    def test_lru_bound_enforced(self):
+        cache = ResultCache(max_entries=2)
+        cfg = EnumerationConfig(k_min=2)
+        graphs = [complete_graph(n) for n in (3, 4, 5)]
+        for graph in graphs:
+            cache.run(ENGINE, graph, cfg)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # oldest (K3) was evicted, newest two still hit
+        _, hit3 = cache.run(ENGINE, graphs[0], cfg)
+        assert not hit3
+        _, hit5 = cache.run(ENGINE, graphs[2], cfg)
+        assert hit5
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cfg = EnumerationConfig(k_min=2)
+        g3, g4, g5 = (complete_graph(n) for n in (3, 4, 5))
+        cache.run(ENGINE, g3, cfg)
+        cache.run(ENGINE, g4, cfg)
+        cache.run(ENGINE, g3, cfg)  # touch K3 → K4 becomes LRU
+        cache.run(ENGINE, g5, cfg)  # evicts K4
+        _, hit3 = cache.run(ENGINE, g3, cfg)
+        assert hit3
+        _, hit4 = cache.run(ENGINE, g4, cfg)
+        assert not hit4
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ParameterError):
+            ResultCache(max_entries=0)
+
+
+class TestCounters:
+    def test_fold_into_op_counters(self, g):
+        cache = ResultCache()
+        cfg = EnumerationConfig(k_min=2)
+        cache.run(ENGINE, g, cfg)
+        cache.run(ENGINE, g, cfg)
+        counters = OpCounters()
+        cache.fold_into(counters)
+        assert counters.extra["cache_hits"] == 1
+        assert counters.extra["cache_misses"] == 1
+        assert counters.extra["cache_evictions"] == 0
+        snapshot = counters.snapshot()
+        assert snapshot["cache_hits"] == 1
+
+    def test_clear_keeps_tallies(self, g):
+        cache = ResultCache()
+        cache.run(ENGINE, g, EnumerationConfig(k_min=2))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+        _, hit = cache.run(ENGINE, g, EnumerationConfig(k_min=2))
+        assert not hit

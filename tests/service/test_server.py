@@ -1,0 +1,370 @@
+"""End-to-end server/client round trips over the JSON-lines protocol.
+
+Covers the PR acceptance criteria: submitted jobs reach DONE with
+clique counts identical to a direct ``EnumerationEngine.run``, a
+repeated identical job is served from cache (hit counter increments,
+no re-enumeration), and ``jsonl`` sink output on disk matches the
+``collect`` sink for the same graph.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import graph_io
+from repro.core.generators import barbell_graph, erdos_renyi
+from repro.engine import EnumerationConfig, EnumerationEngine
+from repro.errors import ParameterError, ServiceError
+from repro.service import (
+    EnumerationServer,
+    JobScheduler,
+    JobSpec,
+    ServiceClient,
+)
+from repro.service.protocol import (
+    config_from_payload,
+    config_to_payload,
+    spec_from_payload,
+    spec_to_payload,
+)
+
+ENGINE = EnumerationEngine()
+
+
+@pytest.fixture
+def g():
+    return erdos_renyi(30, 0.3, seed=1)
+
+
+@pytest.fixture
+def server():
+    with EnumerationServer() as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(server.address) as c:
+        yield c
+
+
+class TestProtocolPayloads:
+    def test_config_round_trip(self):
+        cfg = EnumerationConfig(
+            backend="ooc", k_min=3, k_max=7, max_cliques=10,
+            options={"chunk_size": 8},
+        )
+        assert config_from_payload(config_to_payload(cfg)) == cfg
+
+    def test_default_config_payload_is_empty(self):
+        assert config_to_payload(EnumerationConfig()) == {}
+
+    def test_spec_round_trip_with_inline_graph(self):
+        spec = JobSpec(
+            graph=barbell_graph(3),
+            config=EnumerationConfig(k_min=2),
+            sink="count",
+            priority=3,
+            label="x",
+        )
+        rebuilt = spec_from_payload(spec_to_payload(spec))
+        assert rebuilt.graph == spec.graph
+        assert rebuilt.config == spec.config
+        assert (rebuilt.sink, rebuilt.priority, rebuilt.label) == (
+            "count", 3, "x"
+        )
+
+    def test_spec_payload_requires_a_graph(self):
+        with pytest.raises(ParameterError, match="graph"):
+            spec_from_payload({"sink": "count"})
+
+    def test_spec_payload_rejects_unknown_fields(self):
+        """Regression: a misspelled config key must fail the submit,
+        not silently run the job with defaults."""
+        with pytest.raises(ParameterError, match="kmin"):
+            spec_from_payload({"graph": "g.json", "kmin": 3})
+
+    def test_unknown_submit_field_rejected_over_the_wire(self, client):
+        with pytest.raises(ServiceError, match="unknown submit field"):
+            client.call("submit", graph="g.json", max_clique=100)
+
+
+class TestRoundTrip:
+    def test_ping(self, client):
+        assert client.ping()["pong"]
+
+    def test_submitted_job_matches_direct_engine_run(self, client, g):
+        """Acceptance: DONE with counts identical to EnumerationEngine."""
+        reference = ENGINE.run(g, EnumerationConfig(k_min=2))
+        job_id = client.submit(g, k_min=2)
+        job = client.wait(job_id, timeout=60)
+        assert job["status"] == "done"
+        assert job["n_cliques"] == len(reference.cliques)
+        assert sorted(client.cliques(job_id)) == sorted(reference.cliques)
+
+    def test_repeated_job_served_from_cache(self, client, g):
+        """Acceptance: hit counter increments, no re-enumeration."""
+        first = client.wait(client.submit(g, k_min=2), timeout=60)
+        assert not first["cache_hit"]
+        before = client.stats()["cache"]
+        second = client.wait(client.submit(g, k_min=2), timeout=60)
+        after = client.stats()["cache"]
+        assert second["cache_hit"]
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]  # no re-enumeration
+        assert second["n_cliques"] == first["n_cliques"]
+
+    def test_jsonl_sink_matches_collect_on_disk(self, client, g, tmp_path):
+        """Acceptance: jsonl output on disk == collect sink output."""
+        collect_id = client.submit(g, k_min=2, use_cache=False)
+        collected = sorted(client.cliques(client.wait(collect_id)["id"]))
+        path = tmp_path / "cliques.jsonl"
+        jsonl_id = client.submit(
+            g, k_min=2, sink=f"jsonl:{path}", use_cache=False
+        )
+        job = client.wait(jsonl_id, timeout=60)
+        assert job["status"] == "done"
+        on_disk = sorted(
+            tuple(json.loads(line))
+            for line in path.read_text().splitlines()
+        )
+        assert on_disk == collected
+
+    def test_path_referenced_graph_submission(self, client, tmp_path):
+        path = tmp_path / "g.json"
+        graph_io.write_json(barbell_graph(3), path)
+        job = client.wait(client.submit(str(path), k_min=1), timeout=60)
+        assert job["status"] == "done"
+        assert job["n_cliques"] == 3
+
+    def test_sweep_submission(self, client):
+        graphs = [erdos_renyi(20, 0.3, seed=s) for s in range(3)]
+        ids = client.submit_sweep(
+            graphs, k_min=2, labels=[f"t{s}" for s in range(3)]
+        )
+        jobs = [client.wait(i, timeout=60) for i in ids]
+        assert [j["status"] for j in jobs] == ["done"] * 3
+        assert [j["label"] for j in jobs] == ["t0", "t1", "t2"]
+
+    def test_jobs_listing(self, client, g):
+        client.wait(client.submit(g, k_min=2, label="a"), timeout=60)
+        listing = client.jobs()
+        assert len(listing) == 1
+        assert listing[0]["label"] == "a"
+
+    def test_cancel_unknown_job_is_service_error(self, client):
+        with pytest.raises(ServiceError, match="unknown job"):
+            client.cancel("job-999999")
+
+    def test_failed_job_reports_error(self, client):
+        job_id = client.submit("/nonexistent/g.json", k_min=2)
+        job = client.wait(job_id, timeout=60)
+        assert job["status"] == "failed"
+        assert "nonexistent" in job["error"]
+
+    def test_wait_deadline_raises_timeout_error(self, server):
+        """A server-side wait deadline surfaces as TimeoutError on the
+        client — matching the in-process Job.wait contract — not as a
+        generic ServiceError."""
+        import threading
+
+        release = threading.Event()
+        original = server.scheduler.engine.run
+
+        def gated(graph, config=None, on_clique=None):
+            release.wait(30)
+            return original(graph, config, on_clique)
+
+        server.scheduler.engine.run = gated
+        try:
+            with ServiceClient(server.address) as client:
+                job_id = client.submit(barbell_graph(3))
+                with pytest.raises(TimeoutError):
+                    client.wait(job_id, timeout=0.05)
+        finally:
+            release.set()
+            server.scheduler.engine.run = original
+
+    def test_result_of_unfinished_job_refused(self, server):
+        # a scheduler with a gated engine keeps the job running
+        import threading
+
+        release = threading.Event()
+        original = server.scheduler.engine.run
+
+        def gated(graph, config=None, on_clique=None):
+            release.wait(30)
+            return original(graph, config, on_clique)
+
+        server.scheduler.engine.run = gated
+        try:
+            with ServiceClient(server.address) as client:
+                job_id = client.submit(barbell_graph(3))
+                with pytest.raises(ServiceError, match="still"):
+                    client.result(job_id)
+        finally:
+            release.set()
+            server.scheduler.engine.run = original
+
+    def test_connection_survives_bad_request(self, client, g):
+        with pytest.raises(ServiceError, match="unknown op"):
+            client.call("warpdrive")
+        assert client.ping()["pong"]  # same socket still works
+
+    def test_submit_rejects_config_and_kwargs(self, client, g):
+        with pytest.raises(ServiceError, match="not both"):
+            client.submit(g, config=EnumerationConfig(), k_min=2)
+
+
+class TestUnixSocket:
+    def test_round_trip_over_unix_socket(self, tmp_path, g):
+        sock = tmp_path / "repro.sock"
+        with EnumerationServer(socket_path=sock) as server:
+            assert server.address == str(sock)
+            with ServiceClient(server.address) as client:
+                job = client.wait(client.submit(g, k_min=2), timeout=60)
+                assert job["status"] == "done"
+        assert not sock.exists()  # cleaned up on shutdown
+
+    def test_live_socket_is_not_hijacked(self, tmp_path):
+        sock = tmp_path / "repro.sock"
+        with EnumerationServer(socket_path=sock) as first:
+            with pytest.raises(ParameterError, match="live server"):
+                EnumerationServer(socket_path=sock)
+            # the first server is untouched and still answering
+            with ServiceClient(first.address) as client:
+                assert client.ping()["pong"]
+
+    def test_stale_socket_file_is_reclaimed(self, tmp_path, g):
+        import socket as socketlib
+
+        sock = tmp_path / "repro.sock"
+        # leftover from a crashed server: a real socket file with
+        # nothing listening on it
+        leftover = socketlib.socket(
+            socketlib.AF_UNIX, socketlib.SOCK_STREAM
+        )
+        leftover.bind(str(sock))
+        leftover.close()
+        assert sock.exists()
+        with EnumerationServer(socket_path=sock) as server:
+            with ServiceClient(server.address) as client:
+                job = client.wait(client.submit(g, k_min=2), timeout=60)
+                assert job["status"] == "done"
+
+    def test_regular_file_at_socket_path_is_refused(self, tmp_path):
+        """Regression: a mistyped --socket path pointing at a real file
+        must be refused, never unlinked."""
+        target = tmp_path / "important.dat"
+        target.write_text("precious")
+        with pytest.raises(ParameterError, match="not a socket"):
+            EnumerationServer(socket_path=target)
+        assert target.read_text() == "precious"
+
+
+class TestBrokenConnection:
+    def test_client_side_timeout_poisons_the_client(self, server):
+        """Regression: a socket-level timeout desynchronizes the
+        request/response stream; later calls must fail with a clear
+        'broken' error instead of reading the stale late response."""
+        import threading
+
+        release = threading.Event()
+        original = server.scheduler.engine.run
+
+        def gated(graph, config=None, on_clique=None):
+            release.wait(30)
+            return original(graph, config, on_clique)
+
+        server.scheduler.engine.run = gated
+        try:
+            client = ServiceClient(server.address, timeout=0.2)
+            job_id = client.submit(barbell_graph(3))
+            with pytest.raises(ServiceError, match="connection failed"):
+                client.wait(job_id)  # server-side wait exceeds 0.2s
+            with pytest.raises(ServiceError, match="broken"):
+                client.ping()
+        finally:
+            release.set()
+            server.scheduler.engine.run = original
+
+
+class TestServerLifecycle:
+    def test_external_scheduler_not_shut_down_with_server(self, g):
+        with JobScheduler(workers=1) as sched:
+            server = EnumerationServer(sched).start()
+            with ServiceClient(server.address) as client:
+                client.wait(client.submit(g, k_min=2), timeout=60)
+            server.shutdown()
+            # scheduler still accepts work after the server is gone
+            job = sched.submit(JobSpec(graph=barbell_graph(3))).wait(30)
+            assert job.result is not None
+
+    def test_failed_bind_does_not_leak_worker_threads(self, server):
+        """Regression: a bind failure in EnumerationServer must not
+        leave an owned scheduler's freshly started workers running."""
+        import threading
+
+        host, port = server.address
+        before = sum(
+            1
+            for t in threading.enumerate()
+            if t.name.startswith("enum-worker")
+        )
+        with pytest.raises(OSError):
+            EnumerationServer(host=host, port=port)
+        after = sum(
+            1
+            for t in threading.enumerate()
+            if t.name.startswith("enum-worker")
+        )
+        assert after == before
+
+    def test_shutdown_without_start_returns_promptly(self):
+        """Regression: BaseServer.shutdown() waits on an event only
+        serve_forever sets — shutting down a never-started server must
+        not block forever."""
+        server = EnumerationServer()
+        done = []
+        import threading
+
+        t = threading.Thread(
+            target=lambda: (server.shutdown(), done.append(True))
+        )
+        t.start()
+        t.join(timeout=10)
+        assert done, "shutdown() hung on a never-started server"
+
+    def test_shutdown_is_idempotent_and_concurrent_safe(self):
+        import threading
+
+        server = EnumerationServer().start()
+        threads = [
+            threading.Thread(target=server.shutdown) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        server.shutdown()  # and once more from this thread
+
+    def test_shutdown_op_stops_listener(self, g):
+        server = EnumerationServer().start()
+        with ServiceClient(server.address) as client:
+            client.shutdown_server()
+        # listener is gone: a fresh connection must fail
+        import socket as socketlib
+        import time
+
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            try:
+                with socketlib.create_connection(
+                    server.address, timeout=0.2
+                ):
+                    time.sleep(0.05)
+            except OSError:
+                return
+        pytest.fail("server kept listening after shutdown op")

@@ -38,6 +38,50 @@ class TestEnumerate:
         assert out == ["0 1 2", "3 4 5"]
 
 
+class TestEnumerateSinks:
+    def test_sink_count_matches_count_alias(self, graph_file, capsys):
+        assert main(["enumerate", graph_file, "--sink", "count"]) == 0
+        sink_out = capsys.readouterr().out
+        assert main(["enumerate", graph_file, "--count"]) == 0
+        assert capsys.readouterr().out == sink_out
+        assert "total: 3" in sink_out
+
+    def test_sink_top_k(self, graph_file, capsys):
+        assert main(["enumerate", graph_file, "--sink", "top_k:2"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 2
+        assert all(len(line.split()) == 3 for line in out)
+
+    def test_sink_jsonl(self, graph_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "out.jsonl"
+        assert main(
+            ["enumerate", graph_file, "--sink", f"jsonl:{path}"]
+        ) == 0
+        assert "wrote 3 cliques" in capsys.readouterr().out
+        cliques = sorted(
+            tuple(json.loads(line))
+            for line in path.read_text().splitlines()
+        )
+        assert cliques == [(0, 1, 2), (2, 3), (3, 4, 5)]
+
+    def test_sink_collect_prints_cliques(self, graph_file, capsys):
+        assert main(["enumerate", graph_file, "--sink", "collect"]) == 0
+        assert "0 1 2" in capsys.readouterr().out
+
+    def test_unknown_sink_spec(self, graph_file, capsys):
+        assert main(["enumerate", graph_file, "--sink", "warp"]) == 1
+        assert "sink" in capsys.readouterr().err
+
+    def test_count_conflicts_with_other_sink(self, graph_file, capsys):
+        rc = main(
+            ["enumerate", graph_file, "--count", "--sink", "top_k:2"]
+        )
+        assert rc == 1
+        assert "alias" in capsys.readouterr().err
+
+
 class TestEnumerateBackends:
     @pytest.mark.parametrize("backend", available_backends())
     def test_every_backend_counts_identically(
@@ -96,6 +140,74 @@ class TestStats:
         assert "vertices:            6" in out
         assert "edges:               7" in out
         assert "triangles:           2" in out
+
+    def test_fingerprint_reported(self, graph_file, capsys):
+        from repro.core.graph_io import graph_fingerprint
+        from repro.core.generators import barbell_graph
+
+        assert main(["stats", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert f"fingerprint:         {graph_fingerprint(barbell_graph(3))}" in out
+
+
+class TestServiceCommands:
+    @pytest.fixture
+    def server(self):
+        from repro.service import EnumerationServer
+
+        with EnumerationServer() as srv:
+            yield srv
+
+    def _connect(self, server):
+        host, port = server.address
+        return ["--connect", f"{host}:{port}"]
+
+    def test_submit_and_wait(self, server, graph_file, capsys):
+        rc = main(
+            ["submit", graph_file, *self._connect(server),
+             "--k-min", "2", "--wait"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert "total: 3" in out
+
+    def test_submit_prints_job_id_without_wait(
+        self, server, graph_file, capsys
+    ):
+        assert main(["submit", graph_file, *self._connect(server)]) == 0
+        assert capsys.readouterr().out.strip().startswith("job-")
+
+    def test_jobs_listing(self, server, graph_file, capsys):
+        main(
+            ["submit", graph_file, *self._connect(server),
+             "--label", "mylabel", "--wait"]
+        )
+        capsys.readouterr()
+        assert main(["jobs", *self._connect(server)]) == 0
+        out = capsys.readouterr().out
+        assert "mylabel" in out
+        assert "done" in out
+
+    def test_unreachable_service(self, graph_file, capsys):
+        rc = main(
+            ["submit", graph_file, "--connect", "127.0.0.1:1"]
+        )
+        assert rc == 2
+        assert "service" in capsys.readouterr().err
+
+    def test_malformed_connect(self, graph_file, capsys):
+        rc = main(["submit", graph_file, "--connect", "nonsense"])
+        assert rc == 1
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_serve_on_taken_port_reports_error(self, server, capsys):
+        host, port = server.address
+        rc = main(
+            ["serve", "--host", host, "--port", str(port)]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestConvert:
