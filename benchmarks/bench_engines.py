@@ -60,3 +60,27 @@ def bench_engine_multiprocess(benchmark, myogenic, jobs):
     benchmark.extra_info["n_cliques"] = len(res.cliques)
     benchmark.extra_info["jobs"] = jobs
     benchmark.extra_info["transfers"] = res.transfers
+
+
+def bench_engine_incore_wah(benchmark, myogenic):
+    """Incore step over the WAH-compressed level store.
+
+    Extra-info records the memory argument: the compressed peak
+    candidate bytes against the uncompressed store's peak, plus the
+    clique-set equality every substrate must preserve.
+    """
+    res = benchmark(
+        lambda: _run(myogenic.graph, "incore", level_store="wah")
+    )
+    mem = _run(myogenic.graph, "incore")
+    assert sorted(res.cliques) == sorted(mem.cliques)
+    benchmark.extra_info["n_cliques"] = len(res.cliques)
+    benchmark.extra_info["peak_candidate_bytes"] = (
+        res.peak_candidate_bytes()
+    )
+    benchmark.extra_info["memory_peak_candidate_bytes"] = (
+        mem.peak_candidate_bytes()
+    )
+    benchmark.extra_info["peak_compression"] = round(
+        mem.peak_candidate_bytes() / max(1, res.peak_candidate_bytes()), 2
+    )

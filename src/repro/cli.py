@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.cli enumerate GRAPH [--backend NAME] [--jobs N]
+                                  [--level-store NAME]
                                   [--k-min K] [--k-max K] [--sink SPEC]
     python -m repro.cli engines
     python -m repro.cli maxclique GRAPH
@@ -35,6 +36,7 @@ from repro.core import graph_io
 from repro.core.maximum_clique import maximum_clique
 from repro.core.stats import summarize
 from repro.engine import (
+    LEVEL_STORES,
     EnumerationConfig,
     EnumerationEngine,
     available_backends,
@@ -81,6 +83,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="worker processes for parallel backends (default: cpu count)",
+    )
+    p_enum.add_argument(
+        "--level-store",
+        default=None,
+        choices=LEVEL_STORES,
+        metavar="NAME",
+        help=(
+            "candidate-level storage substrate: %(choices)s "
+            "(default: the backend's own; 'wah' holds levels "
+            "WAH-compressed to cut the memory peak on sparse graphs)"
+        ),
     )
     p_enum.add_argument(
         "--k-min", type=int, default=1, help="minimum clique size (Init_K)"
@@ -162,6 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend (default: incore)",
     )
     p_submit.add_argument("--jobs", type=int, default=None, metavar="N")
+    p_submit.add_argument(
+        "--level-store", default=None, choices=LEVEL_STORES,
+        metavar="NAME",
+        help="candidate-level storage substrate (default: backend's own)",
+    )
     p_submit.add_argument("--k-min", type=int, default=1)
     p_submit.add_argument("--k-max", type=int, default=None)
     p_submit.add_argument(
@@ -207,6 +225,7 @@ def _cmd_enumerate(args) -> int:
         k_min=args.k_min,
         k_max=args.k_max,
         jobs=args.jobs,
+        level_store=args.level_store,
     )
     spec = args.sink
     if args.count:
@@ -245,15 +264,19 @@ def _cmd_engines(args) -> int:
         (
             info.name,
             info.storage,
+            ",".join(info.level_stores) or "-",
             "yes" if info.parallel else "no",
             info.description,
         )
         for info in backend_table()
     ]
     name_w = max(len(r[0]) for r in rows)
-    print(f"{'backend':<{name_w}}  storage  parallel  description")
-    for name, storage, parallel, desc in rows:
-        print(f"{name:<{name_w}}  {storage:<7}  {parallel:<8}  {desc}")
+    stores_w = max(len("level stores"), max(len(r[2]) for r in rows))
+    print(f"{'backend':<{name_w}}  storage  "
+          f"{'level stores':<{stores_w}}  parallel  description")
+    for name, storage, stores, parallel, desc in rows:
+        print(f"{name:<{name_w}}  {storage:<7}  {stores:<{stores_w}}  "
+              f"{parallel:<8}  {desc}")
     return 0
 
 
@@ -320,6 +343,7 @@ def _cmd_submit(args) -> int:
         k_min=args.k_min,
         k_max=args.k_max,
         jobs=args.jobs,
+        level_store=args.level_store,
     )
     with ServiceClient(_service_address(args)) as client:
         job_id = client.submit(

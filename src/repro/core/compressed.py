@@ -27,12 +27,12 @@ equal bitmaps encode to equal word sequences.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
 from repro.errors import BitSetError
-from repro.core.bitset import BitSet
+from repro.core.bitset import WORD_BITS, BitSet
 
 __all__ = ["WahBitmap", "GROUP_BITS"]
 
@@ -143,8 +143,47 @@ class WahBitmap:
         if n < 0:
             raise BitSetError(f"universe size must be non-negative, got {n}")
         self.n = n
-        self._words = words
         self._n_groups = (n + GROUP_BITS - 1) // GROUP_BITS
+        # Validate group coverage up front: a truncated or padded stream
+        # must fail here with a precise message, not surface later as a
+        # confusing group-count error from count() or a wrong __eq__.
+        covered = 0
+        for i, word in enumerate(words):
+            if not 0 <= word < (1 << 32):
+                raise BitSetError(
+                    f"WAH word {i} out of 32-bit range: {word!r}"
+                )
+            if _is_fill(word):
+                length = _fill_len(word)
+                if length == 0:
+                    raise BitSetError(
+                        f"WAH word {i} is a fill of zero run length"
+                    )
+                covered += length
+            else:
+                covered += 1
+        if covered != self._n_groups:
+            raise BitSetError(
+                f"WAH stream covers {covered} group(s), expected "
+                f"{self._n_groups} for a {n}-bit universe"
+            )
+        # The final group's padding bits must be zero, or count(),
+        # iteration, and __eq__ all go wrong (e.g. iter_indices would
+        # yield vertex indices >= n).
+        rem = n % GROUP_BITS
+        if rem and words:
+            last = words[-1]
+            padding_set = (
+                _fill_bit(last)
+                if _is_fill(last)
+                else last >> rem
+            )
+            if padding_set:
+                raise BitSetError(
+                    f"WAH stream sets padding bits beyond the "
+                    f"{n}-bit universe in its final group"
+                )
+        self._words = words
 
     # -- constructors ------------------------------------------------------
 
@@ -174,6 +213,23 @@ class WahBitmap:
         return cls.from_bitset(BitSet.from_indices(n, indices))
 
     @classmethod
+    def from_words(
+        cls, words: np.ndarray, n: int | None = None
+    ) -> "WahBitmap":
+        """Compress a raw ``uint64`` bit-string word array.
+
+        ``words`` is the :class:`~repro.core.bitset.BitSet` layout used
+        by the enumeration hot loops (``CliqueSubList.cn_words``).  When
+        ``n`` is omitted the full ``64 * len(words)``-bit universe is
+        used, which round-trips exactly through :meth:`to_words` for any
+        word array whose tail invariant holds.
+        """
+        arr = np.ascontiguousarray(words, dtype=np.uint64)
+        if n is None:
+            n = WORD_BITS * int(arr.size)
+        return cls.from_bitset(BitSet(n, arr))
+
+    @classmethod
     def zeros(cls, n: int) -> "WahBitmap":
         """All-zero bitmap."""
         return cls.from_bitset(BitSet.zeros(n))
@@ -198,6 +254,42 @@ class WahBitmap:
         if idx.size:
             out.words[:] = BitSet.from_indices(self.n, idx).words
         return out
+
+    def to_words(self) -> np.ndarray:
+        """Decompress to raw ``uint64`` bit-string words.
+
+        Inverse of :meth:`from_words`: the returned array is the
+        :class:`~repro.core.bitset.BitSet` word layout the enumeration
+        hot loops operate on.
+        """
+        return self.to_bitset().words
+
+    def iter_indices(self) -> Iterator[int]:
+        """Yield the set-bit indices, ascending, without decompressing.
+
+        Zero fills advance the cursor in O(1) whatever their run
+        length; only literal words and one-fills cost time, so
+        iteration is proportional to the *compressed* size plus the
+        population count — the op the paper's "bitwise operations ...
+        on the compressed data" remark asks for.
+        """
+        base = 0
+        for word in self._words:
+            if _is_fill(word):
+                span = _fill_len(word) * GROUP_BITS
+                if _fill_bit(word):
+                    yield from range(base, min(base + span, self.n))
+                base += span
+            else:
+                value = int(word)
+                while value:
+                    low = value & -value
+                    yield base + low.bit_length() - 1
+                    value ^= low
+                base += GROUP_BITS
+
+    def __iter__(self) -> Iterator[int]:
+        return self.iter_indices()
 
     # -- compressed-domain operations ---------------------------------------
 
@@ -249,6 +341,32 @@ class WahBitmap:
         """Compressed-domain ``self & ~other``."""
         return self._binary(other, lambda a, b: a & ~b)
 
+    def intersect_any(self, other: "WahBitmap") -> bool:
+        """``(self & other).any()`` without materialising the AND.
+
+        The paper's ``BitOneExists`` maximality test on compressed
+        operands: the merged scan stops at the first overlapping group
+        and bulk-skips aligned fill runs, so a hit costs only the
+        compressed prefix before the overlap.
+        """
+        self._check(other)
+        ra, rb = _GroupReader(self._words), _GroupReader(other._words)
+        remaining = self._n_groups
+        while remaining:
+            ga = ra.next_group()
+            gb = rb.next_group()
+            if ga & gb:
+                return True
+            # both mid-fill with a zero AND: at least one side is a
+            # zero fill, so the AND stays zero for the whole overlap
+            bulk = min(ra.pending_fill, rb.pending_fill, remaining - 1)
+            if bulk > 0:
+                ra.pending_fill -= bulk
+                rb.pending_fill -= bulk
+                remaining -= bulk
+            remaining -= 1
+        return False
+
     def any(self) -> bool:
         """True when any bit is set, without decompression."""
         for w in self._words:
@@ -262,23 +380,14 @@ class WahBitmap:
     def count(self) -> int:
         """Population count, computed on the compressed form."""
         total = 0
-        groups_seen = 0
         for w in self._words:
             if _is_fill(w):
-                length = _fill_len(w)
                 if _fill_bit(w):
-                    total += length * GROUP_BITS
-                groups_seen += length
+                    total += _fill_len(w) * GROUP_BITS
             else:
                 total += int(w).bit_count()
-                groups_seen += 1
-        # The final group may be padded; padded bits are zero by
-        # construction so no correction is needed.
-        if groups_seen != self._n_groups:
-            raise BitSetError(
-                f"corrupt WAH stream: {groups_seen} groups, "
-                f"expected {self._n_groups}"
-            )
+        # group coverage and zero padding are validated at
+        # construction, so no tail correction is needed here
         return total
 
     # -- storage metrics ----------------------------------------------------

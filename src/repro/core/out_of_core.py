@@ -29,7 +29,7 @@ import tempfile
 from collections.abc import Callable, Iterator
 from pathlib import Path
 
-from repro.errors import ParameterError
+from repro.errors import LevelStoreError, ParameterError
 from repro.core.clique_enumerator import (
     INDEX_BYTES,
     POINTER_BYTES,
@@ -94,6 +94,7 @@ class DiskLevelStore:
         self._count = 0
         self._n_candidates = 0
         self._candidate_bytes = 0
+        self._streamed = False
 
     def __len__(self) -> int:
         return self._count
@@ -121,6 +122,10 @@ class DiskLevelStore:
 
     def append(self, sl: CliqueSubList) -> None:
         """Queue one sub-list; flushes a chunk when the buffer fills."""
+        if self._streamed:
+            raise LevelStoreError(
+                "append() after stream(): the level store is single-pass"
+            )
         self._write_buffer.append(sl)
         self._count += 1
         self._n_candidates += len(sl)
@@ -154,12 +159,21 @@ class DiskLevelStore:
     def stream(self) -> Iterator[list[CliqueSubList]]:
         """Yield the stored sub-lists chunk by chunk, then delete the file.
 
-        The store must not be appended to after streaming begins.
+        Single-pass: a second ``stream()`` — or an ``append()`` once
+        streaming began — raises :class:`~repro.errors.LevelStoreError`.
         """
+        if self._streamed:
+            raise LevelStoreError(
+                "stream() called twice on a single-pass level store"
+            )
+        self._streamed = True
         self._flush()
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+        return self._read_chunks()
+
+    def _read_chunks(self) -> Iterator[list[CliqueSubList]]:
         if self._path is None:
             return
         with self._path.open("rb") as fh:

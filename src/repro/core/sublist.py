@@ -25,7 +25,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CliqueSubList"]
+from repro.core.bitset import WORD_BITS, words_to_indices
+from repro.core.compressed import WahBitmap
+
+__all__ = ["CliqueSubList", "CompressedSubList"]
 
 
 @dataclass(frozen=True)
@@ -90,4 +93,81 @@ class CliqueSubList:
             f"CliqueSubList(prefix={self.prefix}, "
             f"tails={self.tails.tolist()[:8]}"
             f"{'...' if self.tails.size > 8 else ''}, k={self.k})"
+        )
+
+
+@dataclass(frozen=True)
+class CompressedSubList:
+    """A :class:`CliqueSubList` with both arrays WAH-compressed.
+
+    The paper closes by observing that the sparsity of the bitmap memory
+    index "can potentially provide high compression rate"; this is the
+    candidate representation that realises it.  Tails are ascending and
+    unique, so they are losslessly held as a bitmap over the same
+    vertex universe as the common-neighbor string — on sparse
+    genome-scale graphs both compress to a handful of words.
+
+    Attributes
+    ----------
+    prefix:
+        The shared (k-1)-clique, stored uncompressed (it is k-1 small
+        integers).
+    n_tails:
+        ``len(tails)``, cached so accounting never pays a
+        compressed-domain :meth:`~repro.core.compressed.WahBitmap.count`.
+    tails:
+        Compressed bitmap of the k-th vertices.
+    cn:
+        Compressed common-neighbor string of ``prefix``.
+    """
+
+    prefix: tuple[int, ...]
+    n_tails: int
+    tails: WahBitmap
+    cn: WahBitmap
+
+    @classmethod
+    def from_sublist(cls, sl: CliqueSubList) -> "CompressedSubList":
+        """Compress one sub-list (universe = the cn word span)."""
+        n_bits = WORD_BITS * int(sl.cn_words.size)
+        return cls(
+            prefix=sl.prefix,
+            n_tails=int(sl.tails.size),
+            tails=WahBitmap.from_indices(n_bits, sl.tails),
+            cn=WahBitmap.from_words(sl.cn_words),
+        )
+
+    def to_sublist(self) -> CliqueSubList:
+        """Decompress back to the hot-loop representation.
+
+        Exact inverse of :meth:`from_sublist`: tails come back as the
+        ascending ``int64`` array, ``cn_words`` as the ``uint64``
+        bit-string words the generation step ANDs against adjacency.
+        """
+        return CliqueSubList(
+            prefix=self.prefix,
+            tails=words_to_indices(self.tails.to_words(), self.tails.n),
+            cn_words=self.cn.to_words(),
+        )
+
+    def __len__(self) -> int:
+        return self.n_tails
+
+    def nbytes(self, index_bytes: int = 8, pointer_bytes: int = 8) -> int:
+        """Measured compressed storage, comparable to
+        :meth:`CliqueSubList.nbytes` (prefix + both compressed payloads
+        + the list pointer)."""
+        return (
+            len(self.prefix) * index_bytes
+            + self.tails.nbytes()
+            + self.cn.nbytes()
+            + pointer_bytes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompressedSubList(prefix={self.prefix}, "
+            f"n_tails={self.n_tails}, "
+            f"words={self.tails.compressed_words()}"
+            f"+{self.cn.compressed_words()})"
         )

@@ -13,8 +13,9 @@ package turns that claim into architecture:
   ``(graph, config, on_clique) -> EnumerationResult``;
 * :mod:`~repro.engine.level_store` /
   :mod:`~repro.engine.level_loop` — the shared single-pass level
-  storage contract and the one level-loop skeleton every store-based
-  backend runs;
+  storage contract (``memory`` / ``disk`` / ``wah``-compressed,
+  selected by ``EnumerationConfig.level_store``) and the one
+  level-loop skeleton every store-based backend runs;
 * :mod:`~repro.engine.backends` — the four built-ins: ``"incore"``,
   ``"bitscan"``, ``"ooc"``, ``"multiprocess"``;
 * :class:`~repro.engine.api.EnumerationEngine` — the facade that
@@ -36,7 +37,7 @@ equivalence across the whole registry.
 
 from repro.core.clique_enumerator import EnumerationResult, LevelStats
 from repro.core.counters import IOStats, OpCounters
-from repro.engine.config import EnumerationConfig
+from repro.engine.config import LEVEL_STORES, EnumerationConfig
 from repro.engine.registry import (
     BackendInfo,
     available_backends,
@@ -46,6 +47,7 @@ from repro.engine.registry import (
     unregister_backend,
 )
 from repro.engine.level_store import (
+    CompressedLevelStore,
     DiskLevelStore,
     LevelStore,
     MemoryLevelStore,
@@ -67,9 +69,11 @@ __all__ = [
     "get_backend",
     "available_backends",
     "backend_table",
+    "LEVEL_STORES",
     "LevelStore",
     "MemoryLevelStore",
     "DiskLevelStore",
+    "CompressedLevelStore",
     "run_level_loop",
     "seed_level",
     "run_enumeration",

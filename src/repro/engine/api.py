@@ -19,6 +19,7 @@ import time
 from collections.abc import Callable
 from dataclasses import replace
 
+from repro.errors import ParameterError
 from repro.core.clique_enumerator import EnumerationResult
 from repro.core.graph import Graph
 from repro.engine.config import EnumerationConfig
@@ -72,10 +73,21 @@ class EnumerationEngine:
         -----
         A ``k_min`` below the backend's registered ``min_k_min`` is
         promoted before dispatch (every built-in supports 1, so this
-        only affects third-party backends that declare a floor).
+        only affects third-party backends that declare a floor).  An
+        explicit ``level_store`` the backend did not register support
+        for is rejected here, before any work starts.
         """
         cfg = config if config is not None else self.config
         info = get_backend(cfg.backend)
+        if (
+            cfg.level_store is not None
+            and cfg.level_store not in info.level_stores
+        ):
+            raise ParameterError(
+                f"backend {cfg.backend!r} does not support level store "
+                f"{cfg.level_store!r}; supported: "
+                f"{', '.join(info.level_stores) or '(backend-managed)'}"
+            )
         if cfg.k_min < info.min_k_min:
             cfg = replace(cfg, k_min=info.min_k_min)
         t0 = time.perf_counter()

@@ -34,9 +34,9 @@ from repro.core.clique_enumerator import (
 from repro.core.counters import IOStats
 from repro.core.graph import Graph
 from repro.core.out_of_core import DiskLevelStore
-from repro.engine.config import EnumerationConfig
+from repro.engine.config import LEVEL_STORES, EnumerationConfig
 from repro.engine.level_loop import make_emitter, run_level_loop
-from repro.engine.level_store import MemoryLevelStore
+from repro.engine.level_store import CompressedLevelStore, MemoryLevelStore
 from repro.engine.registry import register_backend
 
 __all__ = [
@@ -59,6 +59,41 @@ def _reject_unknown_options(config: EnumerationConfig, known: set[str]):
         )
 
 
+def _store_policy(config: EnumerationConfig, default: str):
+    """Resolve ``config.level_store`` for a level-loop backend.
+
+    Returns ``(store_factory, io, store_options)`` — the factory for
+    :func:`~repro.engine.level_loop.run_level_loop`, the shared
+    :class:`IOStats` when the substrate touches disk (``None``
+    otherwise), and the option keys the substrate understands (fed to
+    :func:`_reject_unknown_options`, so e.g. a spill ``directory`` on
+    the in-memory substrate still fails before work starts).
+    """
+    name = config.level_store or default
+    if name == "memory":
+        return MemoryLevelStore, None, set()
+    if name == "wah":
+        chunk_size = config.option("chunk_size", 256)
+        return (
+            lambda: CompressedLevelStore(chunk_size),
+            None,
+            {"chunk_size"},
+        )
+    if name == "disk":
+        io = IOStats()
+        directory = config.option("directory")
+        chunk_size = config.option("chunk_size", 256)
+        return (
+            lambda: DiskLevelStore(directory, chunk_size, io),
+            io,
+            {"directory", "chunk_size"},
+        )
+    raise ParameterError(  # pragma: no cover - config validates first
+        f"unknown level store {name!r}; expected one of "
+        f"{', '.join(LEVEL_STORES)}"
+    )
+
+
 def _reject_jobs(config: EnumerationConfig):
     if config.jobs is not None:
         raise ParameterError(
@@ -71,20 +106,23 @@ def _reject_jobs(config: EnumerationConfig):
     "incore",
     description="in-memory candidates, tail-list generation (the paper)",
     storage="memory",
+    level_stores=LEVEL_STORES,
 )
 def run_incore(
     g: Graph, config: EnumerationConfig, on_clique: OnClique = None
 ) -> EnumerationResult:
     """The paper's in-core Clique Enumerator on the unified loop."""
-    _reject_unknown_options(config, set())
+    store_factory, io, store_opts = _store_policy(config, "memory")
+    _reject_unknown_options(config, store_opts)
     _reject_jobs(config)
     return run_level_loop(
         g,
         config,
         on_clique,
         step=generate_next_level,
-        store_factory=MemoryLevelStore,
+        store_factory=store_factory,
         backend="incore",
+        io=io,
     )
 
 
@@ -93,20 +131,23 @@ def run_incore(
     description="in-memory candidates, rejected n-bit-scan generation "
     "(ablation)",
     storage="memory",
+    level_stores=LEVEL_STORES,
 )
 def run_bitscan(
     g: Graph, config: EnumerationConfig, on_clique: OnClique = None
 ) -> EnumerationResult:
     """The Section 2.3 bit-scan generation variant on the unified loop."""
-    _reject_unknown_options(config, set())
+    store_factory, io, store_opts = _store_policy(config, "memory")
+    _reject_unknown_options(config, store_opts)
     _reject_jobs(config)
     return run_level_loop(
         g,
         config,
         on_clique,
         step=generate_next_level_bitscan,
-        store_factory=MemoryLevelStore,
+        store_factory=store_factory,
         backend="bitscan",
+        io=io,
     )
 
 
@@ -115,22 +156,26 @@ def run_bitscan(
     description="disk-spilled candidates per level, I/O counted "
     "(the retired out-of-core mode)",
     storage="disk",
+    level_stores=LEVEL_STORES,
 )
 def run_ooc(
     g: Graph, config: EnumerationConfig, on_clique: OnClique = None
 ) -> EnumerationResult:
-    """The out-of-core substrate: every level spilled and re-read once."""
-    _reject_unknown_options(config, {"directory", "chunk_size"})
+    """The out-of-core substrate: every level spilled and re-read once.
+
+    ``config.level_store`` can override the substrate (e.g. ``"wah"``
+    holds the levels compressed in RAM instead); the result's ``io``
+    field is populated only when the effective substrate touches disk.
+    """
+    store_factory, io, store_opts = _store_policy(config, "disk")
+    _reject_unknown_options(config, store_opts)
     _reject_jobs(config)
-    directory = config.option("directory")
-    chunk_size = config.option("chunk_size", 256)
-    io = IOStats()
     return run_level_loop(
         g,
         config,
         on_clique,
         step=generate_next_level,
-        store_factory=lambda: DiskLevelStore(directory, chunk_size, io),
+        store_factory=store_factory,
         backend="ooc",
         io=io,
     )
@@ -142,6 +187,7 @@ def run_ooc(
     "load balancing",
     storage="memory",
     parallel=True,
+    level_stores=("memory",),
 )
 def run_multiprocess(
     g: Graph, config: EnumerationConfig, on_clique: OnClique = None
@@ -163,6 +209,15 @@ def run_multiprocess(
     from repro.parallel.mp_backend import enumerate_maximal_cliques_mp
 
     _reject_unknown_options(config, {"rel_tolerance"})
+    if config.level_store not in (None, "memory"):
+        # workers keep their partitions in local memory; pretending to
+        # honour a disk or compressed substrate would silently change
+        # what candidate_bytes means
+        raise ParameterError(
+            "backend 'multiprocess' keeps worker-local in-memory "
+            f"partitions; level_store {config.level_store!r} applies "
+            "to the store-based backends (incore, bitscan, ooc)"
+        )
     if config.k_max is not None and config.k_max < 2:
         # no parallel work exists below level 2; the sequential loop is
         # the exact semantics (isolated vertices, completed flag) —

@@ -18,7 +18,13 @@ from typing import Any
 
 from repro.errors import ParameterError
 
-__all__ = ["EnumerationConfig"]
+__all__ = ["EnumerationConfig", "LEVEL_STORES"]
+
+#: the level-storage substrates a config may request: ``"memory"``
+#: (:class:`~repro.engine.level_store.MemoryLevelStore`), ``"disk"``
+#: (:class:`~repro.core.out_of_core.DiskLevelStore`), ``"wah"``
+#: (:class:`~repro.engine.level_store.CompressedLevelStore`).
+LEVEL_STORES = ("memory", "disk", "wah")
 
 
 def _stable_key(value: Any):
@@ -82,6 +88,15 @@ class EnumerationConfig:
         Worker-process count for parallel backends (``None`` lets the
         backend pick, e.g. the CPU count).  Sequential backends reject
         a non-``None`` value rather than silently ignoring it.
+    level_store:
+        Storage substrate for candidate levels: one of
+        :data:`LEVEL_STORES` (``"memory"``, ``"disk"``, ``"wah"``), or
+        ``None`` for the backend's default (memory for
+        ``incore``/``bitscan``, disk for ``ooc``).  Backends that do
+        not run the shared level loop reject substrates they cannot
+        honour rather than silently ignoring the policy.  Part of the
+        config's equality/hash, so the service result cache can never
+        conflate runs on different substrates.
     options:
         Backend-specific knobs, e.g. ``{"directory": ..., "chunk_size":
         512}`` for ``"ooc"`` or ``{"rel_tolerance": 0.1}`` for
@@ -94,6 +109,7 @@ class EnumerationConfig:
     max_cliques: int | None = None
     max_candidate_bytes: int | None = None
     jobs: int | None = None
+    level_store: str | None = None
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -121,6 +137,15 @@ class EnumerationConfig:
             )
         if self.jobs is not None and self.jobs < 1:
             raise ParameterError(f"jobs must be >= 1, got {self.jobs}")
+        if (
+            self.level_store is not None
+            and self.level_store not in LEVEL_STORES
+        ):
+            raise ParameterError(
+                f"level_store must be one of {', '.join(LEVEL_STORES)} "
+                f"(or None for the backend default), got "
+                f"{self.level_store!r}"
+            )
         # normalise to a plain dict so `options` is hashable-agnostic and
         # cheap to .get() from; the field stays read-only by convention.
         object.__setattr__(self, "options", dict(self.options))
@@ -140,6 +165,7 @@ class EnumerationConfig:
             self.max_cliques,
             self.max_candidate_bytes,
             self.jobs,
+            self.level_store,
             _stable_key(self.options),
         ))
 

@@ -9,8 +9,10 @@ bookkeeping that every historical driver re-implemented separately.
 A backend supplies exactly two policies:
 
 * ``store_factory`` — where a level's candidates live
-  (:class:`~repro.engine.level_store.MemoryLevelStore` or
-  :class:`~repro.core.out_of_core.DiskLevelStore`);
+  (:class:`~repro.engine.level_store.MemoryLevelStore`,
+  :class:`~repro.core.out_of_core.DiskLevelStore`, or the WAH
+  :class:`~repro.engine.level_store.CompressedLevelStore`, resolved
+  from ``config.level_store``);
 * ``step`` — how one level becomes the next
   (:func:`~repro.core.clique_enumerator.generate_next_level` or the
   bit-scan ablation variant).

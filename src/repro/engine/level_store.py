@@ -5,16 +5,25 @@ pattern: append the whole next level, then stream it back once for
 expansion.  :class:`LevelStore` captures that single-pass contract plus
 the accounting the level loop needs (``N[k]``, ``M[k]``, measured bytes
 — the paper's per-level statistics), so the storage substrate becomes a
-policy choice:
+policy choice (:attr:`repro.engine.config.EnumerationConfig.level_store`):
 
 * :class:`MemoryLevelStore` — candidates stay in RAM; streaming yields
   the whole level as one chunk so the generation step keeps its full
   cross-sub-list batching (the paper's in-core mode);
 * :class:`~repro.core.out_of_core.DiskLevelStore` — candidates spill to
   disk and stream back chunk by chunk with counted I/O (the retired
-  out-of-core mode, kept measurable).
+  out-of-core mode, kept measurable);
+* :class:`CompressedLevelStore` — candidates held WAH-compressed
+  (:mod:`repro.core.compressed`), realising the paper's closing remark
+  that the sparse bitmap index "can potentially provide high
+  compression rate"; decompression happens one chunk at a time as the
+  level streams back for expansion.
 
-Both are driven by the same loop in :mod:`repro.engine.level_loop`.
+All are driven by the same loop in :mod:`repro.engine.level_loop`, and
+all enforce the single-pass contract: a second ``stream()`` — or an
+``append()`` once streaming began — raises
+:class:`~repro.errors.LevelStoreError` instead of silently replaying or
+corrupting the level.
 """
 
 from __future__ import annotations
@@ -22,11 +31,17 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Iterator
 
+from repro.errors import LevelStoreError, ParameterError
 from repro.core.clique_enumerator import INDEX_BYTES, POINTER_BYTES
 from repro.core.out_of_core import DiskLevelStore
-from repro.core.sublist import CliqueSubList
+from repro.core.sublist import CliqueSubList, CompressedSubList
 
-__all__ = ["LevelStore", "MemoryLevelStore", "DiskLevelStore"]
+__all__ = [
+    "LevelStore",
+    "MemoryLevelStore",
+    "DiskLevelStore",
+    "CompressedLevelStore",
+]
 
 
 class LevelStore(ABC):
@@ -34,9 +49,11 @@ class LevelStore(ABC):
 
     Contract: ``append`` the complete level, then ``stream`` it back
     exactly once (in insertion order, as chunks), then ``close``.  The
-    accounting properties must reflect everything appended so far; the
-    level loop reads them for per-level statistics and memory budgets
-    without materialising the level.
+    contract is enforced — a second ``stream()`` or a late ``append()``
+    raises :class:`~repro.errors.LevelStoreError`.  The accounting
+    properties must reflect everything appended so far; the level loop
+    reads them for per-level statistics and memory budgets without
+    materialising the level.
     """
 
     @abstractmethod
@@ -90,9 +107,14 @@ class MemoryLevelStore(LevelStore):
         self._sublists: list[CliqueSubList] = []
         self._n_candidates = 0
         self._candidate_bytes = 0
+        self._streamed = False
 
     def append(self, sl: CliqueSubList) -> None:
         """Add one sub-list to the level."""
+        if self._streamed:
+            raise LevelStoreError(
+                "append() after stream(): the level store is single-pass"
+            )
         self._sublists.append(sl)
         self._n_candidates += len(sl)
         self._candidate_bytes += sl.nbytes(INDEX_BYTES, POINTER_BYTES)
@@ -117,12 +139,125 @@ class MemoryLevelStore(LevelStore):
 
     def stream(self) -> Iterator[list[CliqueSubList]]:
         """Yield the whole level as one chunk (full batching preserved)."""
+        if self._streamed:
+            raise LevelStoreError(
+                "stream() called twice on a single-pass level store"
+            )
+        self._streamed = True
+        return self._stream()
+
+    def _stream(self) -> Iterator[list[CliqueSubList]]:
         if self._sublists:
             yield self._sublists
 
     def close(self) -> None:
         """Drop the level (lists are garbage-collected)."""
         self._sublists = []
+
+
+class CompressedLevelStore(LevelStore):
+    """WAH-compressed in-memory level store — the paper's "work underway".
+
+    Every appended sub-list is held as a
+    :class:`~repro.core.sublist.CompressedSubList`: tails and the
+    common-neighbor string become
+    :class:`~repro.core.compressed.WahBitmap` payloads, so
+    :attr:`candidate_bytes` — the figure the Figure-9 experiment and the
+    ``max_candidate_bytes`` budget read — is the *compressed* footprint.
+    On sparse genome-scale graphs the deep-level common-neighbor strings
+    are a few set bits in a universe of thousands, where WAH shrinks
+    them by an order of magnitude.
+
+    ``stream`` decompresses ``chunk_size`` sub-lists at a time, so at
+    most one chunk of full-width bit strings is live while the
+    generation step expands the level; everything not yet streamed stays
+    compressed.  Compressed-domain ``&``/``count``/``iter_indices`` on
+    the stored :class:`WahBitmap` payloads remain available to callers
+    that never need the expansion at all.
+
+    Parameters
+    ----------
+    chunk_size:
+        Sub-lists decompressed per streamed chunk.  Larger chunks keep
+        more of the generation step's cross-sub-list batching; smaller
+        chunks bound the transient decompressed working set.
+    """
+
+    def __init__(self, chunk_size: int = 256):
+        if chunk_size < 1:
+            raise ParameterError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.chunk_size = chunk_size
+        self._entries: list[CompressedSubList] = []
+        self._n_candidates = 0
+        self._candidate_bytes = 0
+        self._uncompressed_bytes = 0
+        self._streamed = False
+
+    def append(self, sl: CliqueSubList) -> None:
+        """Compress and store one sub-list."""
+        if self._streamed:
+            raise LevelStoreError(
+                "append() after stream(): the level store is single-pass"
+            )
+        entry = CompressedSubList.from_sublist(sl)
+        self._entries.append(entry)
+        self._n_candidates += len(sl)
+        self._candidate_bytes += entry.nbytes(INDEX_BYTES, POINTER_BYTES)
+        self._uncompressed_bytes += sl.nbytes(INDEX_BYTES, POINTER_BYTES)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def n_sublists(self) -> int:
+        """The paper's ``N[k]`` for this level."""
+        return len(self._entries)
+
+    @property
+    def n_candidates(self) -> int:
+        """The paper's ``M[k]`` for this level."""
+        return self._n_candidates
+
+    @property
+    def candidate_bytes(self) -> int:
+        """Measured *compressed* candidate storage, in bytes."""
+        return self._candidate_bytes
+
+    @property
+    def uncompressed_bytes(self) -> int:
+        """What :class:`MemoryLevelStore` would have charged for this
+        level — the baseline for :meth:`compression_ratio`."""
+        return self._uncompressed_bytes
+
+    def compression_ratio(self) -> float:
+        """Uncompressed bytes over compressed bytes (>= 1 means win)."""
+        if not self._candidate_bytes:
+            return 1.0
+        return self._uncompressed_bytes / self._candidate_bytes
+
+    def entries(self) -> list[CompressedSubList]:
+        """The compressed sub-lists, for compressed-domain consumers."""
+        return list(self._entries)
+
+    def stream(self) -> Iterator[list[CliqueSubList]]:
+        """Decompress and yield ``chunk_size`` sub-lists at a time."""
+        if self._streamed:
+            raise LevelStoreError(
+                "stream() called twice on a single-pass level store"
+            )
+        self._streamed = True
+        return self._stream()
+
+    def _stream(self) -> Iterator[list[CliqueSubList]]:
+        for start in range(0, len(self._entries), self.chunk_size):
+            chunk = self._entries[start:start + self.chunk_size]
+            yield [entry.to_sublist() for entry in chunk]
+
+    def close(self) -> None:
+        """Drop the compressed level."""
+        self._entries = []
 
 
 # The disk substrate implements the same interface structurally; register

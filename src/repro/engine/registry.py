@@ -51,6 +51,12 @@ class BackendInfo:
     min_k_min:
         Smallest supported ``k_min``; smaller requested values are
         promoted.  Every built-in supports 1.
+    level_stores:
+        The :data:`~repro.engine.config.LEVEL_STORES` substrates this
+        backend honours via ``config.level_store``.  Empty means the
+        backend manages its own storage; the engine facade rejects an
+        explicit ``level_store`` before dispatch.  ``storage`` remains
+        the backend's *default* substrate.
     """
 
     name: str
@@ -59,6 +65,7 @@ class BackendInfo:
     storage: str = "memory"
     parallel: bool = False
     min_k_min: int = 1
+    level_stores: tuple[str, ...] = ()
 
 
 _REGISTRY: dict[str, BackendInfo] = {}
@@ -72,6 +79,7 @@ def register_backend(
     storage: str = "memory",
     parallel: bool = False,
     min_k_min: int = 1,
+    level_stores: tuple[str, ...] = (),
     replace: bool = False,
 ):
     """Register an execution backend under ``name``.
@@ -101,6 +109,7 @@ def register_backend(
             storage=storage,
             parallel=parallel,
             min_k_min=min_k_min,
+            level_stores=tuple(level_stores),
         )
         return fn
 

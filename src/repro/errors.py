@@ -28,6 +28,16 @@ class ParameterError(ReproError):
     """An algorithm parameter is out of its documented domain."""
 
 
+class LevelStoreError(ReproError):
+    """A level store was used outside its single-pass contract.
+
+    The level-wise enumeration appends one complete level, streams it
+    back exactly once, then closes the store.  Streaming twice (which
+    would double-count expansion) or appending after streaming began
+    raises this error instead of silently corrupting the level.
+    """
+
+
 class BudgetExceeded(ReproError):
     """A configured resource budget (cliques, memory, work) was exceeded.
 

@@ -11,6 +11,12 @@ scaled myogenic workload enumerated from Init_K=3 (k-axis halved, so the
 paper's peak at 13 of 28 corresponds to a peak near 7 of 14), alongside
 the paper's own space formula
 ``M[k]*c + N[k]*((k-1)*c + ceil(n/8)) + pointers``.
+
+The paper closes by noting the sparse bitmap index "can potentially
+provide high compression rate"; :func:`compare_stores` /
+:func:`report_stores` measure exactly that — the same series on all
+three :data:`~repro.engine.config.LEVEL_STORES` substrates side by
+side, with the WAH store's per-level compression ratio.
 """
 
 from __future__ import annotations
@@ -18,11 +24,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.memory_model import MemoryProfile, memory_profile
-from repro.engine import EnumerationConfig, run_enumeration
+from repro.engine import (
+    LEVEL_STORES,
+    EnumerationConfig,
+    get_backend,
+    run_enumeration,
+)
 from repro.experiments.workloads import Workload, myogenic_like
 from repro.experiments.reporting import format_bytes, render_table
 
-__all__ = ["Figure9Result", "run", "report"]
+__all__ = [
+    "Figure9Result",
+    "run",
+    "report",
+    "compare_stores",
+    "report_stores",
+]
 
 #: Paper reference: peak near clique size 13 (of max 28).
 PAPER_PEAK_K = 13
@@ -36,6 +53,7 @@ class Figure9Result:
     workload: str
     max_clique: int
     profile: MemoryProfile
+    level_store: str = "memory"
 
     def peak_fraction(self) -> float:
         """Peak position as a fraction of the maximum clique size."""
@@ -44,23 +62,50 @@ class Figure9Result:
 
 
 def run(
-    workload: Workload | None = None, backend: str = "incore"
+    workload: Workload | None = None,
+    backend: str = "incore",
+    level_store: str | None = None,
 ) -> Figure9Result:
     """Enumerate from k=3 and collect the per-level memory series.
 
     Any store-based :mod:`repro.engine` backend works — the level loop
-    records identical :class:`~repro.core.clique_enumerator.LevelStats`
-    whether candidates live in memory or on disk.
+    records the same ``N[k]``/``M[k]``
+    :class:`~repro.core.clique_enumerator.LevelStats` whatever the
+    substrate, while ``candidate_bytes`` measures what the chosen
+    ``level_store`` actually holds (compressed bytes for ``"wah"``).
     """
     w = workload or myogenic_like()
     res = run_enumeration(
-        w.graph, EnumerationConfig(backend=backend, k_min=3)
+        w.graph,
+        EnumerationConfig(
+            backend=backend, k_min=3, level_store=level_store
+        ),
     )
     return Figure9Result(
         workload=w.name,
         max_clique=res.max_clique_size(),
         profile=memory_profile(res.level_stats),
+        # None means the backend's default substrate (disk for ooc)
+        level_store=level_store or get_backend(backend).storage,
     )
+
+
+def compare_stores(
+    workload: Workload | None = None,
+    backend: str = "incore",
+    stores: tuple[str, ...] = LEVEL_STORES,
+) -> dict[str, Figure9Result]:
+    """The Figure 9 series on every level-store substrate.
+
+    Returns ``{store_name: Figure9Result}`` for the same workload and
+    backend, so the measured ``candidate_bytes`` are directly
+    comparable level by level.
+    """
+    w = workload or myogenic_like()
+    return {
+        store: run(w, backend=backend, level_store=store)
+        for store in stores
+    }
 
 
 def report(
@@ -101,4 +146,59 @@ def report(
         )
         + "\n"
         + note
+    )
+
+
+def report_stores(
+    workload: Workload | None = None,
+    backend: str = "incore",
+    stores: tuple[str, ...] = LEVEL_STORES,
+) -> str:
+    """Render the per-level candidate bytes of every substrate side by
+    side, with the WAH store's compression ratio per level."""
+    results = compare_stores(workload, backend=backend, stores=stores)
+    first = next(iter(results.values())).profile
+    rows = []
+    for i, k in enumerate(first.sizes):
+        row: list = [
+            k, first.sublists[i], first.candidates[i],
+        ]
+        for store in stores:
+            row.append(
+                format_bytes(results[store].profile.measured_bytes[i])
+            )
+        if "memory" in results and "wah" in results:
+            mem_b = results["memory"].profile.measured_bytes[i]
+            wah_b = results["wah"].profile.measured_bytes[i]
+            row.append(f"{mem_b / wah_b:.2f}x" if wah_b else "-")
+        rows.append(row)
+    headers = ["clique size k", "N[k]", "M[k]"] + [
+        f"{store} bytes" for store in stores
+    ]
+    if "memory" in results and "wah" in results:
+        headers.append("wah ratio")
+    notes = []
+    for store in stores:
+        peak_k, peak_b = results[store].profile.peak()
+        notes.append(f"{store}: peak {format_bytes(peak_b)} at k={peak_k}")
+    if "memory" in results and "wah" in results:
+        _, mem_peak = results["memory"].profile.peak()
+        _, wah_peak = results["wah"].profile.peak()
+        if wah_peak:
+            notes.append(
+                f"peak reduction {mem_peak / wah_peak:.2f}x "
+                "(WAH-compressed candidates)"
+            )
+    workload_name = next(iter(results.values())).workload
+    return (
+        render_table(
+            headers,
+            rows,
+            title=(
+                f"Figure 9 - candidate memory by level store "
+                f"({workload_name}, backend={backend})"
+            ),
+        )
+        + "\n"
+        + "; ".join(notes)
     )

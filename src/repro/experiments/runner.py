@@ -40,11 +40,12 @@ EXPERIMENTS = {
     "figure7": figure7.report,
     "figure8": figure8.report,
     "figure9": figure9.report,
+    "figure9_stores": figure9.report_stores,
     "ablations": ablations.report,
 }
 
 #: experiments whose report() accepts a `backend` keyword.
-BACKEND_AWARE = frozenset({"table1", "figure9"})
+BACKEND_AWARE = frozenset({"table1", "figure9", "figure9_stores"})
 
 
 def _store_backends() -> list[str]:

@@ -7,8 +7,10 @@ across related queries — applies directly.  The cache keys on the
 graph's content fingerprint (:func:`repro.core.graph_io.
 graph_fingerprint`) plus the hashable
 :class:`~repro.engine.config.EnumerationConfig`, so a mutated graph or
-a changed knob can never serve a stale result, while re-loading the
-same file or rebuilding an identical graph still hits.
+a changed knob — including the ``level_store`` substrate policy, whose
+runs differ in their recorded ``candidate_bytes`` — can never serve a
+stale result, while re-loading the same file or rebuilding an
+identical graph still hits.
 
 Hit/miss/eviction tallies fold into the shared
 :class:`~repro.core.counters.OpCounters` ``extra`` channel (see

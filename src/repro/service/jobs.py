@@ -170,6 +170,7 @@ class Job:
             "sink": self.spec.sink,
             "priority": self.spec.priority,
             "backend": self.spec.config.backend,
+            "level_store": self.spec.config.level_store,
             "cache_hit": self.cache_hit,
             "error": self.error,
             "queued_seconds": self.queued_seconds,

@@ -38,6 +38,7 @@ _CONFIG_FIELDS = (
     "max_cliques",
     "max_candidate_bytes",
     "jobs",
+    "level_store",
     "options",
 )
 

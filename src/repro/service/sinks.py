@@ -197,16 +197,17 @@ class JsonlSink(CliqueSink):
 
     def close(self) -> None:
         if self._fh is None:
-            # a successful empty run still leaves a well-formed
-            # (empty) file
-            self.path.write_text("")
-        else:
-            # keep _fh set until the rename lands: if os.replace fails
-            # (target is a directory, dir vanished), abort() must still
-            # see an open run and clean up the .partial file
-            self._fh.close()
-            os.replace(self._tmp, self.path)
-            self._fh = None
+            # a successful empty run still leaves a well-formed (empty)
+            # file — through the same .partial + atomic-rename path, so
+            # an interrupted close can never leave the target truncated
+            # or half-written
+            self._fh = self._tmp.open("w")
+        # keep _fh set until the rename lands: if os.replace fails
+        # (target is a directory, dir vanished), abort() must still
+        # see an open run and clean up the .partial file
+        self._fh.close()
+        os.replace(self._tmp, self.path)
+        self._fh = None
         super().close()
 
     def abort(self) -> None:

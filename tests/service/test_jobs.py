@@ -86,3 +86,16 @@ class TestJob:
         assert payload["status"] == "failed"
         assert payload["error"] == "boom"
         assert payload["label"] == "sweep"
+        assert payload["level_store"] is None
+
+    def test_to_dict_reports_level_store(self):
+        from repro.engine import EnumerationConfig
+
+        job = Job(
+            "job-000008",
+            JobSpec(
+                graph=complete_graph(3),
+                config=EnumerationConfig(level_store="wah"),
+            ),
+        )
+        assert job.to_dict()["level_store"] == "wah"

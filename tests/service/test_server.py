@@ -61,6 +61,16 @@ class TestProtocolPayloads:
     def test_default_config_payload_is_empty(self):
         assert config_to_payload(EnumerationConfig()) == {}
 
+    def test_level_store_travels_in_config_payload(self):
+        cfg = EnumerationConfig(level_store="wah")
+        payload = config_to_payload(cfg)
+        assert payload == {"level_store": "wah"}
+        assert config_from_payload(payload) == cfg
+
+    def test_bad_level_store_rejected_at_payload_parse(self):
+        with pytest.raises(ParameterError, match="level_store"):
+            config_from_payload({"level_store": "zip"})
+
     def test_spec_round_trip_with_inline_graph(self):
         spec = JobSpec(
             graph=barbell_graph(3),

@@ -97,6 +97,45 @@ class TestAccounting:
         sink = JsonlSink(path)
         sink.close()
         assert path.read_text() == ""
+        assert list(tmp_path.glob("*.partial")) == []
+
+    def test_jsonl_empty_close_is_atomic(self, tmp_path, monkeypatch):
+        """Regression: a zero-emission close used to write the target
+        directly (path.write_text), bypassing the documented .partial +
+        os.replace guarantee — an interrupt mid-close could leave the
+        previous target content truncated.  The empty case must go
+        through the same temp-file rename."""
+        import repro.service.sinks as sinks_mod
+
+        path = tmp_path / "out.jsonl"
+        path.write_text('[1,2]\n')  # a previous good run
+
+        sink = JsonlSink(path)
+
+        def exploding_replace(src, dst):
+            raise OSError("interrupted mid-close")
+
+        monkeypatch.setattr(sinks_mod.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="interrupted"):
+            sink.close()
+        # the previous run's output is intact, byte for byte
+        assert path.read_text() == '[1,2]\n'
+        assert not sink.closed
+        # abort after the failed close still cleans the .partial debris
+        monkeypatch.undo()
+        sink.abort()
+        assert list(tmp_path.glob("*.partial")) == []
+        assert path.read_text() == '[1,2]\n'
+
+    def test_jsonl_empty_close_replaces_previous_content(self, tmp_path):
+        """A *successful* empty run atomically replaces the previous
+        output with a well-formed empty file."""
+        path = tmp_path / "out.jsonl"
+        path.write_text('[1,2]\n')
+        sink = JsonlSink(path)
+        sink.close()
+        assert path.read_text() == ""
+        assert list(tmp_path.glob("*.partial")) == []
 
     def test_jsonl_abort_preserves_previous_output(self, tmp_path):
         """Regression: a zero-emission failed run must not truncate a

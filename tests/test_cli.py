@@ -117,6 +117,34 @@ class TestEnumerateBackends:
         assert "sequential" in capsys.readouterr().err
 
 
+class TestEnumerateLevelStores:
+    @pytest.mark.parametrize("store", ["memory", "disk", "wah"])
+    def test_every_store_lists_identical_cliques(
+        self, store, graph_file, capsys
+    ):
+        assert main(["enumerate", graph_file]) == 0
+        want = sorted(capsys.readouterr().out.strip().splitlines())
+        assert main(
+            ["enumerate", graph_file, "--level-store", store]
+        ) == 0
+        got = sorted(capsys.readouterr().out.strip().splitlines())
+        assert got == want
+
+    def test_unknown_store_is_argparse_error(self, graph_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["enumerate", graph_file, "--level-store", "zip"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_store_rejected_on_multiprocess(self, graph_file, capsys):
+        rc = main(
+            ["enumerate", graph_file, "--backend", "multiprocess",
+             "--jobs", "2", "--level-store", "wah"]
+        )
+        assert rc == 1
+        assert "does not support level store" in capsys.readouterr().err
+
+
 class TestEngines:
     def test_lists_all_registered_backends(self, capsys):
         assert main(["engines"]) == 0
@@ -124,6 +152,12 @@ class TestEngines:
         for name in available_backends():
             assert name in out
         assert "storage" in out
+
+    def test_lists_supported_level_stores(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "level stores" in out
+        assert "memory,disk,wah" in out
 
 
 class TestMaxClique:
@@ -177,6 +211,20 @@ class TestServiceCommands:
     ):
         assert main(["submit", graph_file, *self._connect(server)]) == 0
         assert capsys.readouterr().out.strip().startswith("job-")
+
+    def test_submit_with_level_store_round_trips(
+        self, server, graph_file, capsys
+    ):
+        """The substrate policy travels the wire and the job completes
+        with the same per-size counts as the default substrate."""
+        rc = main(
+            ["submit", graph_file, *self._connect(server),
+             "--level-store", "wah", "--k-min", "2", "--wait"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert "total: 3" in out
 
     def test_jobs_listing(self, server, graph_file, capsys):
         main(
