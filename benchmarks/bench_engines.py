@@ -62,6 +62,33 @@ def bench_engine_multiprocess(benchmark, myogenic, jobs):
     benchmark.extra_info["transfers"] = res.transfers
 
 
+@pytest.mark.parametrize("jobs", [1, 2, 4, 8])
+def bench_engine_threads(benchmark, myogenic, jobs):
+    """Shared-memory threaded backend across the worker sweep.
+
+    Extra-info records the scaling evidence against the paper's
+    Figure 7: speedup over the sequential in-core run measured in the
+    same session, plus the work-stealing traffic.  Real speedup needs
+    real cores — the numpy kernels release the GIL, so the curve
+    tracks the host's core count (flat on a single-core runner).
+    """
+    import time
+
+    t0 = time.perf_counter()
+    base = _run(myogenic.graph, "incore")
+    incore_seconds = time.perf_counter() - t0
+    res = benchmark(lambda: _run(myogenic.graph, "threads", jobs=jobs))
+    assert sorted(res.cliques) == sorted(base.cliques)
+    benchmark.extra_info["n_cliques"] = len(res.cliques)
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["stolen_sublists"] = res.transfers
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["speedup_vs_incore"] = round(
+            incore_seconds / max(stats.stats.median, 1e-9), 2
+        )
+
+
 def bench_engine_incore_wah(benchmark, myogenic):
     """Incore step over the WAH-compressed level store.
 

@@ -82,7 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="worker processes for parallel backends (default: cpu count)",
+        help=(
+            "workers for parallel backends — threads for 'threads', "
+            "processes for 'multiprocess' (default: cpu count)"
+        ),
     )
     p_enum.add_argument(
         "--level-store",

@@ -16,8 +16,8 @@ package turns that claim into architecture:
   storage contract (``memory`` / ``disk`` / ``wah``-compressed,
   selected by ``EnumerationConfig.level_store``) and the one
   level-loop skeleton every store-based backend runs;
-* :mod:`~repro.engine.backends` — the four built-ins: ``"incore"``,
-  ``"bitscan"``, ``"ooc"``, ``"multiprocess"``;
+* :mod:`~repro.engine.backends` — the five built-ins: ``"incore"``,
+  ``"bitscan"``, ``"ooc"``, ``"threads"``, ``"multiprocess"``;
 * :class:`~repro.engine.api.EnumerationEngine` — the facade that
   resolves, runs, and times a backend.
 
@@ -37,7 +37,11 @@ equivalence across the whole registry.
 
 from repro.core.clique_enumerator import EnumerationResult, LevelStats
 from repro.core.counters import IOStats, OpCounters
-from repro.engine.config import LEVEL_STORES, EnumerationConfig
+from repro.engine.config import (
+    LEVEL_STORES,
+    EnumerationConfig,
+    resolve_for_backend,
+)
 from repro.engine.registry import (
     BackendInfo,
     available_backends,
@@ -58,6 +62,7 @@ from repro.engine.api import EnumerationEngine, run_enumeration
 
 __all__ = [
     "EnumerationConfig",
+    "resolve_for_backend",
     "EnumerationEngine",
     "EnumerationResult",
     "LevelStats",

@@ -17,12 +17,10 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable
-from dataclasses import replace
 
-from repro.errors import ParameterError
 from repro.core.clique_enumerator import EnumerationResult
 from repro.core.graph import Graph
-from repro.engine.config import EnumerationConfig
+from repro.engine.config import EnumerationConfig, resolve_for_backend
 from repro.engine.registry import (
     BackendInfo,
     available_backends,
@@ -75,21 +73,14 @@ class EnumerationEngine:
         promoted before dispatch (every built-in supports 1, so this
         only affects third-party backends that declare a floor).  An
         explicit ``level_store`` the backend did not register support
-        for is rejected here, before any work starts.
+        for is rejected here — through the shared
+        :func:`~repro.engine.config.resolve_for_backend`, so the
+        service's submit-time validation raises the identical
+        :class:`~repro.errors.ConfigError` — before any work starts.
         """
         cfg = config if config is not None else self.config
         info = get_backend(cfg.backend)
-        if (
-            cfg.level_store is not None
-            and cfg.level_store not in info.level_stores
-        ):
-            raise ParameterError(
-                f"backend {cfg.backend!r} does not support level store "
-                f"{cfg.level_store!r}; supported: "
-                f"{', '.join(info.level_stores) or '(backend-managed)'}"
-            )
-        if cfg.k_min < info.min_k_min:
-            cfg = replace(cfg, k_min=info.min_k_min)
+        cfg = resolve_for_backend(cfg, info)
         t0 = time.perf_counter()
         result = info.runner(g, cfg, on_clique)
         result.wall_seconds = time.perf_counter() - t0

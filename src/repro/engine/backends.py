@@ -10,14 +10,19 @@ partition-persistent worker pool in :mod:`repro.parallel.mp_backend`):
   generation, kept runnable for the ablation;
 * ``"ooc"`` — the retired predecessor: candidates spill to disk per
   level, I/O counted;
-* ``"multiprocess"`` — the shared-memory parallel machine's
-  process-based analogue: persistent worker partitions plus the
-  centralised load-balancing scheduler.
+* ``"threads"`` — the paper's actual parallelisation: shared-memory
+  worker threads over the same adjacency bitmap, LPT-seeded per level
+  with intra-level work stealing
+  (:mod:`repro.parallel.thread_backend`);
+* ``"multiprocess"`` — the process-based analogue: persistent worker
+  partitions plus the centralised load-balancing scheduler.
 
-All four return the same canonical
+All five return the same canonical
 :class:`~repro.core.clique_enumerator.EnumerationResult` and emit
 identical clique sets for identical bounds — the invariant
-``tests/engine/test_equivalence.py`` enforces.
+``tests/engine/test_equivalence.py`` and the randomized
+``tests/engine/test_property_harness.py`` enforce across the whole
+registry.
 """
 
 from __future__ import annotations
@@ -34,7 +39,11 @@ from repro.core.clique_enumerator import (
 from repro.core.counters import IOStats
 from repro.core.graph import Graph
 from repro.core.out_of_core import DiskLevelStore
-from repro.engine.config import LEVEL_STORES, EnumerationConfig
+from repro.engine.config import (
+    LEVEL_STORES,
+    EnumerationConfig,
+    resolve_for_backend,
+)
 from repro.engine.level_loop import make_emitter, run_level_loop
 from repro.engine.level_store import CompressedLevelStore, MemoryLevelStore
 from repro.engine.registry import register_backend
@@ -43,6 +52,7 @@ __all__ = [
     "run_incore",
     "run_bitscan",
     "run_ooc",
+    "run_threads",
     "run_multiprocess",
 ]
 
@@ -182,6 +192,64 @@ def run_ooc(
 
 
 @register_backend(
+    "threads",
+    description="shared-memory worker threads with intra-level work "
+    "stealing (the paper's Altix mode)",
+    storage="memory",
+    parallel=True,
+    level_stores=LEVEL_STORES,
+)
+def run_threads(
+    g: Graph, config: EnumerationConfig, on_clique: OnClique = None
+) -> EnumerationResult:
+    """The shared-memory threaded substrate on the unified loop.
+
+    The generation *step* is the parallel policy: each level (or store
+    chunk) is LPT-partitioned across a persistent pool of
+    ``config.jobs`` worker threads which expand shared-state sub-lists
+    and steal ``steal_granularity``-sized slices from the heaviest
+    partition when their own runs dry
+    (:class:`~repro.parallel.thread_backend.ThreadedExpander`).
+    Everything else — seeding, budgets, per-level statistics, all three
+    level stores — is the same
+    :func:`~repro.engine.level_loop.run_level_loop` the sequential
+    backends run, so output, statistics, and operation counters are
+    byte-identical to ``incore``.
+
+    Unlike ``multiprocess`` (which collects the full clique set before
+    replaying it), cliques stream through ``on_clique`` at every level
+    barrier: budgets trip at the same clique they would in-core, and a
+    cooperative cancellation raised by the sink takes effect one level
+    late at worst.
+    """
+    from repro.parallel.thread_backend import (
+        DEFAULT_STEAL_GRANULARITY,
+        ThreadedExpander,
+        resolve_worker_count,
+    )
+
+    store_factory, io, store_opts = _store_policy(config, "memory")
+    _reject_unknown_options(config, store_opts | {"steal_granularity"})
+    expander = ThreadedExpander(
+        resolve_worker_count(config.jobs),
+        config.option("steal_granularity", DEFAULT_STEAL_GRANULARITY),
+    )
+    with expander:
+        result = run_level_loop(
+            g,
+            config,
+            on_clique,
+            step=expander.step,
+            store_factory=store_factory,
+            backend="threads",
+            io=io,
+        )
+    result.n_workers = expander.n_workers
+    result.transfers = expander.stolen_sublists
+    return result
+
+
+@register_backend(
     "multiprocess",
     description="partition-persistent worker processes with centralised "
     "load balancing",
@@ -208,16 +276,15 @@ def run_multiprocess(
     """
     from repro.parallel.mp_backend import enumerate_maximal_cliques_mp
 
+    from repro.engine.registry import get_backend
+
     _reject_unknown_options(config, {"rel_tolerance"})
-    if config.level_store not in (None, "memory"):
-        # workers keep their partitions in local memory; pretending to
-        # honour a disk or compressed substrate would silently change
-        # what candidate_bytes means
-        raise ParameterError(
-            "backend 'multiprocess' keeps worker-local in-memory "
-            f"partitions; level_store {config.level_store!r} applies "
-            "to the store-based backends (incore, bitscan, ooc)"
-        )
+    # workers keep their partitions in local memory; pretending to
+    # honour a disk or compressed substrate would silently change what
+    # candidate_bytes means.  The shared resolver raises the same
+    # ConfigError the engine facade and the service submit path do, so
+    # a direct runner call cannot drift from them.
+    config = resolve_for_backend(config, get_backend("multiprocess"))
     if config.k_max is not None and config.k_max < 2:
         # no parallel work exists below level 2; the sequential loop is
         # the exact semantics (isolated vertices, completed flag) —

@@ -16,9 +16,9 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
 from typing import Any
 
-from repro.errors import ParameterError
+from repro.errors import ConfigError, ParameterError
 
-__all__ = ["EnumerationConfig", "LEVEL_STORES"]
+__all__ = ["EnumerationConfig", "LEVEL_STORES", "resolve_for_backend"]
 
 #: the level-storage substrates a config may request: ``"memory"``
 #: (:class:`~repro.engine.level_store.MemoryLevelStore`), ``"disk"``
@@ -85,9 +85,11 @@ class EnumerationConfig:
         it raises :class:`~repro.errors.BudgetExceeded`.  Ignored by
         backends that do not track level storage centrally.
     jobs:
-        Worker-process count for parallel backends (``None`` lets the
-        backend pick, e.g. the CPU count).  Sequential backends reject
-        a non-``None`` value rather than silently ignoring it.
+        Worker count for parallel backends — processes for
+        ``"multiprocess"``, shared-memory threads for ``"threads"``
+        (``None`` lets the backend pick, e.g. the CPU count).
+        Sequential backends reject a non-``None`` value rather than
+        silently ignoring it.
     level_store:
         Storage substrate for candidate levels: one of
         :data:`LEVEL_STORES` (``"memory"``, ``"disk"``, ``"wah"``), or
@@ -99,8 +101,13 @@ class EnumerationConfig:
         conflate runs on different substrates.
     options:
         Backend-specific knobs, e.g. ``{"directory": ..., "chunk_size":
-        512}`` for ``"ooc"`` or ``{"rel_tolerance": 0.1}`` for
-        ``"multiprocess"``.  Unknown keys are rejected by the backend.
+        512}`` for ``"ooc"``, ``{"rel_tolerance": 0.1}`` for
+        ``"multiprocess"``, or ``{"steal_granularity": 4}`` for
+        ``"threads"`` (validated here because it is a concurrency knob
+        whose misconfiguration must fail before a pool starts; like
+        every option it is hashed into the config identity, so the
+        service result cache never conflates runs with different
+        stealing policies).  Unknown keys are rejected by the backend.
     """
 
     backend: str = "incore"
@@ -149,6 +156,15 @@ class EnumerationConfig:
         # normalise to a plain dict so `options` is hashable-agnostic and
         # cheap to .get() from; the field stays read-only by convention.
         object.__setattr__(self, "options", dict(self.options))
+        gran = self.options.get("steal_granularity")
+        if gran is not None and (
+            not isinstance(gran, int)
+            or isinstance(gran, bool)
+            or gran < 1
+        ):
+            raise ParameterError(
+                f"steal_granularity must be an int >= 1, got {gran!r}"
+            )
 
     def __hash__(self) -> int:
         # the frozen dataclass's auto-hash would choke on the options
@@ -176,3 +192,36 @@ class EnumerationConfig:
     def option(self, key: str, default: Any = None) -> Any:
         """Read one backend-specific option with a default."""
         return self.options.get(key, default)
+
+
+def resolve_for_backend(
+    config: "EnumerationConfig", info: Any
+) -> "EnumerationConfig":
+    """Cross-validate a config against its backend's registry entry.
+
+    The single place config-vs-backend consistency is decided, shared
+    by every path that accepts a config — the engine facade before
+    dispatch, and the job service at *submit* time — so ``repro
+    enumerate`` and ``repro submit`` raise the identical
+    :class:`~repro.errors.ConfigError` for the identical mistake
+    (historically the service only discovered an unsupported
+    ``level_store`` when the job ran, burning a queue slot on a job
+    doomed to fail).
+
+    ``info`` is a :class:`~repro.engine.registry.BackendInfo` (typed
+    loosely to keep this module below the registry).  Returns the
+    config, with ``k_min`` promoted to the backend's ``min_k_min``
+    floor when needed.
+    """
+    if (
+        config.level_store is not None
+        and config.level_store not in info.level_stores
+    ):
+        raise ConfigError(
+            f"backend {config.backend!r} does not support level store "
+            f"{config.level_store!r}; supported: "
+            f"{', '.join(info.level_stores) or '(backend-managed)'}"
+        )
+    if config.k_min < info.min_k_min:
+        return replace(config, k_min=info.min_k_min)
+    return config

@@ -7,9 +7,10 @@ callable ``(graph, config, on_clique) -> EnumerationResult`` registered
 under a name, and every driver in the repo resolves substrates through
 :func:`get_backend` instead of hard-wiring one.
 
-Adding a fifth substrate (shared-memory threads, an async batch server,
-a compressed-bitmap store) is one :func:`register_backend` call — no new
-driver fork.
+Adding a sixth substrate (a sharded multi-machine backend, a
+GPU-resident bitmap store) is one :func:`register_backend` call — no new
+driver fork; the fifth (``"threads"``, the shared-memory analogue of the
+paper's 256-processor Altix run) landed exactly that way.
 """
 
 from __future__ import annotations
@@ -47,7 +48,10 @@ class BackendInfo:
     storage:
         Where candidates live: ``"memory"`` or ``"disk"``.
     parallel:
-        True when the backend distributes work across processes.
+        True when the backend distributes work across workers —
+        processes (``"multiprocess"``) or shared-memory threads
+        (``"threads"``).  Only parallel backends accept a non-``None``
+        ``config.jobs``.
     min_k_min:
         Smallest supported ``k_min``; smaller requested values are
         promoted.  Every built-in supports 1.

@@ -28,6 +28,19 @@ class ParameterError(ReproError):
     """An algorithm parameter is out of its documented domain."""
 
 
+class ConfigError(ParameterError):
+    """A run configuration is inconsistent with the backend it targets.
+
+    Raised by :func:`repro.engine.config.resolve_for_backend` — the one
+    place a config is cross-checked against a registry entry — so the
+    CLI (``repro enumerate``), the engine facade, and the job service's
+    submit path all fail with the *same* message at the earliest point
+    they can: before any worker pool, spill directory, or queue slot is
+    created.  Subclasses :class:`ParameterError` so existing callers
+    that catch the broader class keep working.
+    """
+
+
 class LevelStoreError(ReproError):
     """A level store was used outside its single-pass contract.
 

@@ -9,6 +9,10 @@
   simulation of the multithreaded Clique Enumerator;
 * :func:`~repro.parallel.mp_backend.enumerate_maximal_cliques_mp` — real
   multiprocessing execution on host cores;
+* :class:`~repro.parallel.thread_backend.ThreadedExpander` /
+  :class:`~repro.parallel.load_balancer.StealingWorkQueue` — the
+  shared-memory threaded substrate behind the engine's ``"threads"``
+  backend: LPT-seeded worker threads with intra-level work stealing;
 * :mod:`repro.parallel.metrics` — absolute/relative speedups and
   load-balance statistics as defined in the paper's Section 3.
 """
@@ -22,6 +26,7 @@ from repro.parallel.machine import (
 from repro.parallel.load_balancer import (
     BalanceDecision,
     LoadBalancer,
+    StealingWorkQueue,
     WorkItem,
 )
 from repro.parallel.parallel_enumerator import (
@@ -33,6 +38,10 @@ from repro.parallel.parallel_enumerator import (
     simulate_run,
 )
 from repro.parallel.mp_backend import MPResult, enumerate_maximal_cliques_mp
+from repro.parallel.thread_backend import (
+    ThreadedExpander,
+    resolve_worker_count,
+)
 from repro.parallel.metrics import (
     LoadBalanceStats,
     absolute_speedup,
@@ -49,6 +58,9 @@ __all__ = [
     "LoadBalancer",
     "WorkItem",
     "BalanceDecision",
+    "StealingWorkQueue",
+    "ThreadedExpander",
+    "resolve_worker_count",
     "EnumerationTrace",
     "TraceItem",
     "SimulatedRun",

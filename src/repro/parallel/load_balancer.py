@@ -30,11 +30,18 @@ real scheduler must: true costs are only known after execution.
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import ParameterError
 
-__all__ = ["WorkItem", "BalanceDecision", "LoadBalancer"]
+__all__ = [
+    "WorkItem",
+    "BalanceDecision",
+    "LoadBalancer",
+    "StealingWorkQueue",
+]
 
 
 @dataclass
@@ -224,3 +231,164 @@ class LoadBalancer:
         for item in items:
             loads[item.owner] += item.estimate
         return loads
+
+    def partition(self, payloads: list, estimates: list[int]) -> list[list]:
+        """LPT-partition arbitrary payloads by estimate into per-worker
+        lists.
+
+        Convenience over :meth:`initial_distribution` for callers (the
+        shared-memory threaded backend) whose work units are not
+        :class:`WorkItem` records: payload ``i`` costs ``estimates[i]``;
+        the returned partitions preserve each worker's payloads in the
+        original (canonical) order.
+        """
+        if len(payloads) != len(estimates):
+            raise ParameterError(
+                f"{len(payloads)} payloads but {len(estimates)} estimates"
+            )
+        items = [
+            WorkItem(item_id=i, estimate=int(est), true_work=int(est),
+                     owner=0)
+            for i, est in enumerate(estimates)
+        ]
+        self.initial_distribution(items)
+        parts: list[list] = [[] for _ in range(self.n_processors)]
+        for item in items:  # items keep input order, so parts stay sorted
+            parts[item.owner].append(payloads[item.item_id])
+        return parts
+
+
+class StealingWorkQueue:
+    """Per-worker work pools with chunked intra-level stealing.
+
+    The paper's scheduler *pushes* sub-lists from heavy to light threads
+    between levels; within a level the threaded backend needs the dual
+    — light workers *pull* ("light-loaded threads will help the
+    heaviest-loaded thread") — because true per-sub-list costs only
+    reveal themselves during expansion.  This queue implements that
+    pull side:
+
+    * each worker owns a pool, seeded from the
+      :class:`LoadBalancer`'s LPT distribution, and drains it
+      front-to-back in *halving* chunks — half the remaining pool per
+      take (never below ``steal_granularity``) — so early chunks are
+      large enough for the generation step's cross-sub-list numpy
+      batching while the untaken tail stays available to thieves and
+      end-of-level chunks shrink toward fine-grained balance;
+    * a worker whose pool runs dry steals up to ``steal_granularity``
+      items from the *tail* of the pool of the worker with the most
+      estimated work remaining — tail stealing keeps the victim's
+      cache-warm front untouched, the classic work-stealing discipline;
+    * every transition is under one lock (acquisitions are rare — one
+      per chunk, not one per item — so the lock never becomes the
+      bottleneck the paper warns naive balancing turns into).
+
+    ``steals`` / ``stolen_items`` / ``stolen_estimate`` record the
+    traffic for the run's ``transfers`` accounting.  The queue is
+    single-level: seed every pool, then ``take`` until everyone sees
+    ``None``.
+    """
+
+    def __init__(self, n_workers: int, steal_granularity: int = 4):
+        if n_workers < 1:
+            raise ParameterError(
+                f"worker count must be >= 1, got {n_workers}"
+            )
+        if steal_granularity < 1:
+            raise ParameterError(
+                f"steal_granularity must be >= 1, got {steal_granularity}"
+            )
+        self.n_workers = n_workers
+        self.steal_granularity = steal_granularity
+        self._pools: list[deque] = [deque() for _ in range(n_workers)]
+        self._loads = [0] * n_workers
+        self._lock = threading.Lock()
+        self.steals = 0
+        self.stolen_items = 0
+        self.stolen_estimate = 0
+
+    @classmethod
+    def from_partition(
+        cls,
+        payloads: list,
+        estimates: list[int],
+        n_workers: int,
+        graph_size: int = 0,
+        steal_granularity: int = 4,
+    ) -> "StealingWorkQueue":
+        """Seed a queue from the balancer's LPT partition of the level."""
+        queue = cls(n_workers, steal_granularity)
+        balancer = LoadBalancer(n_workers, graph_size)
+        pairs = balancer.partition(
+            list(zip(payloads, estimates)), estimates
+        )
+        for worker, part in enumerate(pairs):
+            queue.seed(worker, part)
+        return queue
+
+    def seed(self, worker: int, items: list[tuple]) -> None:
+        """Assign ``(payload, estimate)`` pairs to one worker's pool."""
+        with self._lock:
+            pool = self._pools[worker]
+            for payload, estimate in items:
+                pool.append((payload, int(estimate)))
+                self._loads[worker] += int(estimate)
+
+    def take(self, worker: int) -> list | None:
+        """Next chunk of payloads for ``worker``; ``None`` when the
+        level is exhausted.
+
+        Local work first (front of the own pool); once dry, steal from
+        the tail of the heaviest remaining pool.
+        """
+        with self._lock:
+            pool = self._pools[worker]
+            if pool:
+                # halving local chunks: big early (numpy batching),
+                # fine late (balance), tail always left stealable
+                size = max(self.steal_granularity, (len(pool) + 1) // 2)
+                return self._pop_locked(worker, pool, size,
+                                        from_front=True)
+            victim = max(
+                (w for w in range(self.n_workers) if self._pools[w]),
+                key=lambda w: (self._loads[w], -w),
+                default=None,
+            )
+            if victim is None:
+                return None
+            chunk = self._pop_locked(
+                victim,
+                self._pools[victim],
+                self.steal_granularity,
+                from_front=False,
+            )
+            self.steals += 1
+            self.stolen_items += len(chunk)
+            return chunk
+
+    def _pop_locked(
+        self, owner: int, pool: deque, size: int, from_front: bool
+    ) -> list:
+        chunk = []
+        for _ in range(min(size, len(pool))):
+            payload, estimate = (
+                pool.popleft() if from_front else pool.pop()
+            )
+            self._loads[owner] -= estimate
+            if not from_front:
+                self.stolen_estimate += estimate
+            chunk.append(payload)
+        if not from_front:
+            # stolen tail slices come back in canonical order
+            chunk.reverse()
+        return chunk
+
+    def remaining(self) -> int:
+        """Items still pooled (for tests and diagnostics)."""
+        with self._lock:
+            return sum(len(pool) for pool in self._pools)
+
+    def loads(self) -> list[int]:
+        """Estimated work remaining per worker (snapshot)."""
+        with self._lock:
+            return list(self._loads)

@@ -1,0 +1,222 @@
+"""Shared-memory threaded level expansion with intra-level work stealing.
+
+The closest analogue in this repo to the paper's 256-processor SGI Altix
+run: worker *threads* expand disjoint slices of one candidate level
+against the **shared** adjacency bitmap and sub-list arrays — no
+pickling, no per-level scatter/gather of candidate data, unlike the
+process-based :mod:`repro.parallel.mp_backend` which must ship every
+transferred sub-list through a pipe.  The numpy kernels inside
+:func:`~repro.core.clique_enumerator.generate_next_level` release the
+GIL, so on multi-core hosts the pair scans and bit-string ANDs of
+different slices genuinely overlap.
+
+Scheduling is two-phase, mirroring the paper's Section 2.3 scheduler:
+
+* **seed**: each level's sub-lists are LPT-partitioned across workers
+  by :meth:`~repro.parallel.load_balancer.LoadBalancer.partition`
+  ("divides all k-cliques evenly" — by estimated work, not by count);
+* **steal**: within the level, a worker that drains its own partition
+  pulls ``steal_granularity``-sized slices from the tail of the
+  heaviest remaining partition
+  (:class:`~repro.parallel.load_balancer.StealingWorkQueue`), so the
+  estimate errors that static sharding cannot absorb are fixed while
+  the level runs instead of one level later.
+
+Determinism: every sub-list is expanded exactly once with its own
+accounting, per-worker :class:`~repro.core.counters.OpCounters` merge
+through the existing :meth:`~repro.core.counters.OpCounters.merge`, and
+both the emitted cliques and the child sub-lists are restored to
+canonical order at the level barrier — so output, per-level statistics,
+*and operation counters* are byte-identical to the sequential
+``incore`` backend no matter how the steals interleave.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import ParameterError
+from repro.core.clique_enumerator import generate_next_level
+from repro.core.counters import OpCounters
+from repro.core.graph import Graph
+from repro.core.sublist import CliqueSubList
+from repro.parallel.load_balancer import StealingWorkQueue
+
+__all__ = [
+    "DEFAULT_STEAL_GRANULARITY",
+    "resolve_worker_count",
+    "ThreadedExpander",
+]
+
+#: sub-lists per chunk a worker takes (and a thief steals) at once.
+#: Small enough that a mis-estimated heavy tail can still migrate,
+#: large enough that the queue lock is touched once per chunk, not once
+#: per sub-list.
+DEFAULT_STEAL_GRANULARITY = 4
+
+
+def resolve_worker_count(jobs: int | None) -> int:
+    """Worker-thread count: explicit ``jobs`` or the host CPU count."""
+    if jobs is not None:
+        if jobs < 1:
+            raise ParameterError(f"jobs must be >= 1, got {jobs}")
+        return jobs
+    return max(1, os.cpu_count() or 1)
+
+
+class ThreadedExpander:
+    """A persistent worker-thread pool expanding levels with stealing.
+
+    One expander serves one enumeration run: the pool is created lazily
+    on the first level wide enough to parallelise and reused for every
+    later level (the paper's threads likewise persist across levels).
+    :meth:`step` matches the engine's
+    :data:`~repro.engine.level_loop.GenerationStep` signature, so the
+    ``"threads"`` backend is the unmodified shared level loop with this
+    as its generation policy — seeding, budgets, level statistics, and
+    every level store come along for free.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker-thread count (see :func:`resolve_worker_count`).
+    steal_granularity:
+        Sub-lists per work chunk / steal slice.
+    step:
+        The sequential generation step each worker runs on its chunks
+        (the paper's tail-list generation by default).
+
+    Use as a context manager; :meth:`close` joins the pool.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        steal_granularity: int = DEFAULT_STEAL_GRANULARITY,
+        step: Callable = generate_next_level,
+    ):
+        if n_workers < 1:
+            raise ParameterError(
+                f"worker count must be >= 1, got {n_workers}"
+            )
+        if steal_granularity < 1:
+            raise ParameterError(
+                f"steal_granularity must be >= 1, got {steal_granularity}"
+            )
+        self.n_workers = n_workers
+        self.steal_granularity = steal_granularity
+        self._step = step
+        self._pool: ThreadPoolExecutor | None = None
+        self.steals = 0
+        self.stolen_sublists = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers,
+                thread_name_prefix="enum-thread",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Join the worker pool; idempotent."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ThreadedExpander":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the parallel generation step ---------------------------------------
+
+    def step(
+        self,
+        sublists: list[CliqueSubList],
+        g: Graph,
+        counters: OpCounters,
+        emit: Callable[[tuple[int, ...]], None],
+    ) -> list[CliqueSubList]:
+        """One level (or store chunk) of generation, fanned across the pool.
+
+        Workers expand stolen-or-local chunks into *local* clique and
+        child lists with *local* counters; at the barrier the locals
+        merge (``OpCounters.merge``), cliques are emitted through
+        ``emit`` in canonical order, and children are returned sorted
+        by prefix — the exact sequence the sequential step produces.
+        ``emit`` runs only on the calling thread, after the barrier, so
+        a raising sink (budget trip, cancellation, broken ``jsonl``
+        target) propagates without a worker deadlock: workers never
+        block on anything but finished work.
+        """
+        if self.n_workers == 1 or len(sublists) < 2:
+            return self._step(sublists, g, counters, emit)
+        queue = StealingWorkQueue.from_partition(
+            sublists,
+            [sl.work_estimate() for sl in sublists],
+            self.n_workers,
+            graph_size=g.n,
+            steal_granularity=self.steal_granularity,
+        )
+        stop = threading.Event()
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(self._drain, w, queue, g, stop)
+            for w in range(self.n_workers)
+        ]
+        outcomes = []
+        error: BaseException | None = None
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                # workers poll `stop` between chunks and never block, so
+                # the remaining futures always finish; drain them before
+                # re-raising or their threads would race the next level
+                stop.set()
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        self.steals += queue.steals
+        self.stolen_sublists += queue.stolen_items
+        cliques: list[tuple[int, ...]] = []
+        children: list[CliqueSubList] = []
+        for worker_counters, worker_cliques, worker_children in outcomes:
+            counters.merge(worker_counters)
+            cliques.extend(worker_cliques)
+            children.extend(worker_children)
+        # restore the sequential emission/storage order: cliques ascend
+        # canonically within the level, children ascend by (unique)
+        # prefix — identical to the order one worker would have produced
+        for clique in sorted(cliques):
+            emit(clique)
+        children.sort(key=lambda sl: sl.prefix)
+        return children
+
+    def _drain(
+        self,
+        worker: int,
+        queue: StealingWorkQueue,
+        g: Graph,
+        stop: threading.Event,
+    ) -> tuple[OpCounters, list, list]:
+        """Worker body: pull chunks (local, then stolen) until dry."""
+        counters = OpCounters()
+        cliques: list[tuple[int, ...]] = []
+        children: list[CliqueSubList] = []
+        while not stop.is_set():
+            chunk = queue.take(worker)
+            if chunk is None:
+                break
+            children.extend(
+                self._step(chunk, g, counters, cliques.append)
+            )
+        return counters, cliques, children

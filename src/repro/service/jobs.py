@@ -89,6 +89,25 @@ class JobSpec:
                 "JobSpec.config must be an EnumerationConfig, got "
                 f"{type(self.config).__name__}"
             )
+        # resolve the config against the backend registry *now*: an
+        # unknown backend or an unsupported level store must be
+        # refused at submission (with the exact ConfigError the engine
+        # facade raises) instead of burning a queue slot on a job that
+        # can only fail at dispatch.  The resolved config (k_min
+        # promoted to the backend's floor) is stored back, so the
+        # cache key and job listings describe the run that actually
+        # executes.  Imported lazily: repro.engine's package import is
+        # what registers the built-in backends.
+        from repro.engine import get_backend
+        from repro.engine.config import resolve_for_backend
+
+        object.__setattr__(
+            self,
+            "config",
+            resolve_for_backend(
+                self.config, get_backend(self.config.backend)
+            ),
+        )
         validate_sink_spec(self.sink)
         if not isinstance(self.priority, int):
             raise ParameterError(
@@ -180,6 +199,11 @@ class Job:
         if self.result is not None:
             out["counters"] = self.result.counters.snapshot()
             out["completed"] = self.result.completed
+            # parallel-substrate observability (threads/multiprocess):
+            # worker count and scheduler transfers ride the same wire
+            # payload, so `repro jobs` can show how a parallel job ran
+            out["n_workers"] = self.result.n_workers
+            out["transfers"] = self.result.transfers
             out["n_cliques"] = (
                 self.sink_summary["cliques"]
                 if self.sink_summary

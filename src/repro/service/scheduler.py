@@ -59,14 +59,17 @@ class JobScheduler:
     ----------
     workers:
         Worker-thread count.  Enumeration is numpy-heavy, so threads
-        overlap usefully despite the GIL; a job needing process-level
-        parallelism uses the ``"multiprocess"`` backend *inside* its
-        config.  Caveat inherited from that backend: it collects the
-        full clique set in the parent before replaying it through the
-        sink, so streaming sinks do not bound its memory and
-        cooperative cancellation only takes effect once the
+        overlap usefully despite the GIL; a job needing parallelism
+        *within* one enumeration uses the ``"threads"`` or
+        ``"multiprocess"`` backend inside its config.  ``"threads"``
+        streams cliques through the sink at every level barrier, so
+        budgets and cooperative cancellation fire at most one level
+        late.  ``"multiprocess"`` collects the full clique set in the
+        parent before replaying it, so streaming sinks do not bound
+        its memory and cancellation only takes effect once the
         distributed enumeration finishes — for genome-scale streaming
-        or promptly-cancellable jobs, prefer the sequential backends.
+        or promptly-cancellable jobs, prefer ``"threads"`` or the
+        sequential backends.
     cache:
         A :class:`ResultCache` to share, ``None`` to disable caching
         entirely, or leave unset for a fresh default cache.

@@ -60,6 +60,26 @@ class TestConfig:
         assert cfg.backend == "ooc"
         assert cfg.k_min == 3
 
+    @pytest.mark.parametrize("bad", [0, -1, "4", 2.5, True])
+    def test_invalid_steal_granularity(self, bad):
+        with pytest.raises(ParameterError, match="steal_granularity"):
+            EnumerationConfig(
+                backend="threads", options={"steal_granularity": bad}
+            )
+
+    def test_steal_granularity_part_of_identity(self):
+        a = EnumerationConfig(
+            backend="threads", options={"steal_granularity": 2}
+        )
+        b = EnumerationConfig(
+            backend="threads", options={"steal_granularity": 8}
+        )
+        c = EnumerationConfig(
+            backend="threads", options={"steal_granularity": 2}
+        )
+        assert a != b
+        assert a == c and hash(a) == hash(c)
+
     def test_options_are_copied(self):
         opts = {"chunk_size": 8}
         cfg = EnumerationConfig(backend="ooc", options=opts)
@@ -136,6 +156,63 @@ class TestConfig:
                     triangle,
                     EnumerationConfig(backend=backend, jobs=2),
                 )
+
+
+class TestResolveForBackend:
+    def test_unsupported_store_raises_config_error(self):
+        from repro.errors import ConfigError
+        from repro.engine import resolve_for_backend
+
+        with pytest.raises(ConfigError, match="does not support"):
+            resolve_for_backend(
+                EnumerationConfig(
+                    backend="multiprocess", level_store="wah", jobs=2
+                ),
+                get_backend("multiprocess"),
+            )
+
+    def test_supported_store_passes_through(self):
+        from repro.engine import resolve_for_backend
+
+        cfg = EnumerationConfig(backend="incore", level_store="wah")
+        assert resolve_for_backend(cfg, get_backend("incore")) is cfg
+
+    def test_k_min_floor_promoted(self):
+        from repro.engine import resolve_for_backend
+
+        @register_backend("test-resolve-floor", min_k_min=4)
+        def run_floor(g, config, on_clique=None):
+            """Never dispatched in this test."""
+
+        try:
+            out = resolve_for_backend(
+                EnumerationConfig(backend="test-resolve-floor", k_min=2),
+                get_backend("test-resolve-floor"),
+            )
+        finally:
+            unregister_backend("test-resolve-floor")
+        assert out.k_min == 4
+
+    def test_direct_multiprocess_runner_raises_same_error(self, triangle):
+        """Bypassing the facade cannot dodge (or reword) the check."""
+        from repro.errors import ConfigError
+        from repro.engine.backends import run_multiprocess
+
+        with pytest.raises(ConfigError) as direct:
+            run_multiprocess(
+                triangle,
+                EnumerationConfig(
+                    backend="multiprocess", level_store="disk", jobs=2
+                ),
+            )
+        with pytest.raises(ConfigError) as facade:
+            run_enumeration(
+                triangle,
+                EnumerationConfig(
+                    backend="multiprocess", level_store="disk", jobs=2
+                ),
+            )
+        assert str(direct.value) == str(facade.value)
 
 
 class TestRegistry:

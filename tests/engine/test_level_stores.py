@@ -27,7 +27,7 @@ from repro.service.cache import ResultCache
 ENGINE = EnumerationEngine()
 
 #: the backends that run the shared level loop over a pluggable store.
-STORE_BACKENDS = ("incore", "bitscan", "ooc")
+STORE_BACKENDS = ("incore", "bitscan", "ooc", "threads")
 
 
 def _sl(prefix, tails, n=256):

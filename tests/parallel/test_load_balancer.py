@@ -144,3 +144,136 @@ def test_rebalance_always_terminates_and_helps(p, estimates, owner_mod):
         booked_after[it.owner] += lb2._cost(it)
     if p > 1 and gap_before > 0:
         assert max(booked_after) - min(booked_after) <= gap_before + 1e-9
+
+
+class TestPartition:
+    def test_payloads_follow_lpt_owners(self):
+        lb = LoadBalancer(3, 100)
+        payloads = ["a", "b", "c", "d", "e", "f"]
+        parts = lb.partition(payloads, [9, 1, 8, 1, 7, 1])
+        assert sorted(sum(parts, [])) == sorted(payloads)
+        # each worker keeps its payloads in the original canonical order
+        order = {p: i for i, p in enumerate(payloads)}
+        for part in parts:
+            assert [order[p] for p in part] == sorted(
+                order[p] for p in part
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError, match="estimates"):
+            LoadBalancer(2, 10).partition(["a"], [1, 2])
+
+
+class TestStealingWorkQueue:
+    def _seeded(self, granularity=2):
+        from repro.parallel.load_balancer import StealingWorkQueue
+
+        q = StealingWorkQueue(3, steal_granularity=granularity)
+        q.seed(0, [("a0", 5), ("a1", 5), ("a2", 5)])
+        q.seed(1, [("b0", 50), ("b1", 40), ("b2", 30), ("b3", 20)])
+        # worker 2 starts empty: its first take must be a steal
+        return q
+
+    def test_validation(self):
+        from repro.parallel.load_balancer import StealingWorkQueue
+
+        with pytest.raises(ParameterError, match="worker count"):
+            StealingWorkQueue(0)
+        with pytest.raises(ParameterError, match="steal_granularity"):
+            StealingWorkQueue(2, steal_granularity=0)
+
+    def test_local_chunks_drain_front_to_back(self):
+        q = self._seeded(granularity=2)
+        assert q.take(0) == ["a0", "a1"]
+        assert q.take(0) == ["a2"]
+        assert q.steals == 0
+
+    def test_empty_worker_steals_from_heaviest_tail(self):
+        q = self._seeded(granularity=2)
+        # worker 1 carries the most estimated work; its *tail* moves,
+        # and the stolen slice comes back in canonical order
+        assert q.take(2) == ["b2", "b3"]
+        assert q.steals == 1
+        assert q.stolen_items == 2
+        assert q.stolen_estimate == 50
+        # victim's cache-warm front is untouched
+        assert q.take(1) == ["b0", "b1"]
+
+    def test_exhaustion_returns_none_for_everyone(self):
+        q = self._seeded(granularity=8)
+        drained = []
+        while True:
+            chunk = q.take(2)
+            if chunk is None:
+                break
+            drained.extend(chunk)
+        assert sorted(drained) == ["a0", "a1", "a2", "b0", "b1", "b2", "b3"]
+        assert q.take(0) is None
+        assert q.take(1) is None
+        assert q.remaining() == 0
+
+    def test_loads_track_remaining_estimate(self):
+        q = self._seeded(granularity=1)
+        assert q.loads() == [15, 140, 0]
+        assert q.take(0) == ["a0", "a1"]  # half of the own pool
+        assert q.loads() == [5, 140, 0]
+        q.take(2)  # steals b3 (estimate 20) from worker 1's tail
+        assert q.loads() == [5, 120, 0]
+
+    def test_local_halving_leaves_tail_stealable(self):
+        from repro.parallel.load_balancer import StealingWorkQueue
+
+        q = StealingWorkQueue(2, steal_granularity=1)
+        q.seed(0, [(i, 1) for i in range(8)])
+        assert q.take(0) == [0, 1, 2, 3]  # half of 8
+        assert q.take(1) == [7]           # thief takes from the tail
+        assert q.take(0) == [4, 5]        # half of the remaining 3
+
+    def test_from_partition_covers_every_payload(self):
+        from repro.parallel.load_balancer import StealingWorkQueue
+
+        payloads = list(range(20))
+        estimates = [(i * 7) % 13 + 1 for i in range(20)]
+        q = StealingWorkQueue.from_partition(
+            payloads, estimates, 4, graph_size=50, steal_granularity=3
+        )
+        assert q.remaining() == 20
+        seen = []
+        while True:
+            chunk = q.take(3)
+            if chunk is None:
+                break
+            seen.extend(chunk)
+        assert sorted(seen) == payloads
+
+    def test_concurrent_drain_loses_nothing(self):
+        """Hammer one queue from real threads: every item exactly once."""
+        import threading as _threading
+
+        from repro.parallel.load_balancer import StealingWorkQueue
+
+        q = StealingWorkQueue(4, steal_granularity=3)
+        items = [(f"item-{i}", (i % 11) + 1) for i in range(400)]
+        for w in range(4):
+            q.seed(w, items[w::4])
+        taken: list[list] = [[] for _ in range(4)]
+
+        def drain(w):
+            while True:
+                chunk = q.take(w)
+                if chunk is None:
+                    return
+                taken[w].extend(chunk)
+
+        threads = [
+            _threading.Thread(target=drain, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+        flat = sum(taken, [])
+        assert sorted(flat) == sorted(p for p, _ in items)
+        assert len(flat) == len(set(flat)) == 400
+        assert q.remaining() == 0

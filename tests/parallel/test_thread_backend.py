@@ -1,0 +1,271 @@
+"""The shared-memory threaded backend: correctness and concurrency stress.
+
+Equivalence of the ``"threads"`` registry entry is continuously covered
+by ``tests/engine/test_property_harness.py``; this suite targets what
+only the threaded substrate can get wrong — oversubscription, stealing
+under skew, exception propagation out of the worker pool, pool
+lifecycle, and degenerate inputs — plus the
+:class:`~repro.parallel.thread_backend.ThreadedExpander` surface
+directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import BudgetExceeded, ParameterError
+from repro.core.counters import OpCounters
+from repro.core.generators import (
+    complete_graph,
+    erdos_renyi,
+    overlapping_cliques,
+    planted_partition,
+    star_graph,
+)
+from repro.core.graph import Graph
+from repro.engine import EnumerationConfig, EnumerationEngine
+from repro.parallel.thread_backend import (
+    DEFAULT_STEAL_GRANULARITY,
+    ThreadedExpander,
+    resolve_worker_count,
+)
+
+ENGINE = EnumerationEngine()
+
+
+def _run(g, backend="threads", on_clique=None, **kw):
+    return ENGINE.run(
+        g, EnumerationConfig(backend=backend, **kw), on_clique=on_clique
+    )
+
+
+def _settled_thread_count(baseline: int, timeout: float = 5.0) -> int:
+    """Active threads once transient pool threads have exited."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        now = threading.active_count()
+        if now <= baseline:
+            return now
+        time.sleep(0.01)
+    return threading.active_count()
+
+
+class TestResolveWorkerCount:
+    def test_explicit(self):
+        assert resolve_worker_count(3) == 3
+
+    def test_default_positive(self):
+        assert resolve_worker_count(None) >= 1
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError, match="jobs"):
+            resolve_worker_count(0)
+
+
+class TestExpanderSurface:
+    def test_validates_workers_and_granularity(self):
+        with pytest.raises(ParameterError, match="worker count"):
+            ThreadedExpander(0)
+        with pytest.raises(ParameterError, match="steal_granularity"):
+            ThreadedExpander(2, steal_granularity=0)
+
+    def test_close_is_idempotent(self):
+        expander = ThreadedExpander(2)
+        expander.close()
+        expander.close()
+
+    def test_pool_is_lazy(self):
+        with ThreadedExpander(4) as expander:
+            assert expander._pool is None
+            counters = OpCounters()
+            assert expander.step([], Graph(3), counters, lambda c: None) == []
+            # nothing to parallelise: still no pool
+            assert expander._pool is None
+
+    def test_expander_reusable_across_levels(self):
+        g = planted_partition(
+            50, [8, 7, 6], p_in=0.95, p_out=0.04, seed=2
+        )[0]
+        ref = _run(g, backend="incore", k_min=2)
+        with ThreadedExpander(3, steal_granularity=1) as expander:
+            from repro.engine.level_loop import run_level_loop
+            from repro.engine.level_store import MemoryLevelStore
+
+            res = run_level_loop(
+                g,
+                EnumerationConfig(backend="threads", k_min=2),
+                None,
+                step=expander.step,
+                store_factory=MemoryLevelStore,
+                backend="threads",
+            )
+        assert res.cliques == ref.cliques
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("jobs", [1, 2, 6])
+    def test_empty_graph(self, jobs):
+        res = _run(Graph(0), jobs=jobs, k_min=1)
+        assert res.cliques == []
+        assert res.completed
+
+    @pytest.mark.parametrize("jobs", [1, 2, 6])
+    def test_single_vertex(self, jobs):
+        res = _run(Graph(1), jobs=jobs, k_min=1)
+        assert res.cliques == [(0,)]
+
+    def test_single_edge(self):
+        res = _run(Graph.from_edges(2, [(0, 1)]), jobs=4, k_min=1)
+        assert res.cliques == [(0, 1)]
+
+    def test_star_single_sublist(self):
+        """A star is one giant sub-list: nothing to steal, still right."""
+        g = star_graph(40)
+        assert _run(g, jobs=4, k_min=2).cliques == _run(
+            g, backend="incore", k_min=2
+        ).cliques
+
+    def test_complete_graph(self):
+        assert _run(complete_graph(9), jobs=3, k_min=1).cliques == [
+            tuple(range(9))
+        ]
+
+
+@pytest.mark.stress
+class TestConcurrencyStress:
+    def test_oversubscribed_workers_finest_stealing(self):
+        """Workers far beyond cores, steal slices of one: max contention."""
+        g = planted_partition(
+            80, [10, 9, 8, 7], p_in=0.9, p_out=0.05, seed=6
+        )[0]
+        ref = _run(g, backend="incore", k_min=1)
+        res = _run(
+            g, jobs=16, k_min=1, options={"steal_granularity": 1}
+        )
+        assert res.cliques == ref.cliques
+        assert res.counters.snapshot() == ref.counters.snapshot()
+        assert res.n_workers == 16
+
+    def test_stealing_reported_as_transfers(self):
+        """With more workers than seed sub-lists some pools start empty,
+        so any observed transfer traffic is genuine stealing; output
+        stays canonical regardless of how much occurred."""
+        g = erdos_renyi(60, 0.2, seed=13)
+        res = _run(g, jobs=8, k_min=2, options={"steal_granularity": 1})
+        assert res.transfers >= 0
+        assert res.cliques == _run(g, backend="incore", k_min=2).cliques
+
+    def test_transfers_wired_from_expander_accounting(self, monkeypatch):
+        """`result.transfers` is the expander's stolen-sub-list tally —
+        pinned deterministically by substituting an expander that
+        reports a known count (steal timing itself is nondeterministic,
+        so the integration tests above can only assert >= 0)."""
+        from repro.parallel import thread_backend as tb
+
+        from repro.core.clique_enumerator import generate_next_level
+
+        class FakeExpander(tb.ThreadedExpander):
+            def __init__(self, n_workers, steal_granularity):
+                super().__init__(n_workers, steal_granularity)
+                self.stolen_sublists = 7
+
+            def step(self, sublists, g, counters, emit):
+                # expand inline: no queue, so the tally stays put
+                return generate_next_level(sublists, g, counters, emit)
+
+        monkeypatch.setattr(tb, "ThreadedExpander", FakeExpander)
+        g = planted_partition(
+            40, [7, 6], p_in=0.95, p_out=0.05, seed=1
+        )[0]
+        res = _run(g, jobs=2, k_min=2)
+        assert res.transfers == 7
+        assert res.n_workers == 2
+        monkeypatch.undo()
+        # the real inline single-worker path reports zero traffic
+        assert _run(g, jobs=1, k_min=2).transfers == 0
+
+    def test_sink_exception_propagates_without_deadlock(self):
+        """A raising sink fails the run and leaves no worker behind."""
+        g = planted_partition(
+            60, [9, 8, 7], p_in=0.9, p_out=0.04, seed=4
+        )[0]
+        baseline = threading.active_count()
+
+        class Boom(RuntimeError):
+            pass
+
+        seen = 0
+
+        def sink(clique):
+            nonlocal seen
+            seen += 1
+            if seen >= 3:
+                raise Boom("sink rejected clique")
+
+        with pytest.raises(Boom):
+            _run(g, jobs=4, k_min=2, on_clique=sink)
+        # the runner's pool is joined before the exception leaves the
+        # backend — no enum-thread workers may linger
+        assert _settled_thread_count(baseline) <= baseline
+        # and the engine is immediately reusable
+        res = _run(g, jobs=4, k_min=2)
+        assert res.cliques == _run(g, backend="incore", k_min=2).cliques
+
+    def test_cancellation_style_exception_mid_level(self):
+        """A cancellation raised by the emit path aborts between levels
+        without hanging the pool (the service's cooperative cancel)."""
+
+        class Cancelled(Exception):
+            pass
+
+        g = overlapping_cliques(80, [9, 8, 8, 7], 3, p=0.02, seed=5)[0]
+        baseline = threading.active_count()
+        cancel = threading.Event()
+        cancel.set()
+
+        def emit(clique):
+            if cancel.is_set():
+                raise Cancelled
+
+        with pytest.raises(Cancelled):
+            _run(g, jobs=4, k_min=2, on_clique=emit)
+        assert _settled_thread_count(baseline) <= baseline
+
+    def test_budget_trips_at_the_same_clique_as_incore(self):
+        g = planted_partition(
+            50, [8, 7, 6], p_in=0.9, p_out=0.05, seed=8
+        )[0]
+        with pytest.raises(BudgetExceeded) as thr:
+            _run(g, jobs=4, k_min=2, max_cliques=5)
+        with pytest.raises(BudgetExceeded) as seq:
+            _run(g, backend="incore", k_min=2, max_cliques=5)
+        assert thr.value.emitted == seq.value.emitted
+        assert thr.value.level == seq.value.level
+
+    def test_many_runs_are_deterministic(self):
+        """Repeated threaded runs interleave differently but must emit
+        the byte-identical sequence every time."""
+        g = erdos_renyi(50, 0.25, seed=3)
+        first = _run(
+            g, jobs=6, k_min=1, options={"steal_granularity": 2}
+        )
+        for _ in range(4):
+            again = _run(
+                g, jobs=6, k_min=1, options={"steal_granularity": 2}
+            )
+            assert again.cliques == first.cliques
+            assert (
+                again.counters.snapshot() == first.counters.snapshot()
+            )
+
+    def test_level_store_matrix_under_oversubscription(self):
+        g = planted_partition(
+            60, [9, 8, 7], p_in=0.9, p_out=0.04, seed=11
+        )[0]
+        ref = _run(g, backend="incore", k_min=1)
+        for store in ("memory", "disk", "wah"):
+            res = _run(g, jobs=8, k_min=1, level_store=store)
+            assert res.cliques == ref.cliques, store

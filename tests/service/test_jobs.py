@@ -99,3 +99,67 @@ class TestJob:
             ),
         )
         assert job.to_dict()["level_store"] == "wah"
+
+
+class TestSubmitTimeResolution:
+    def test_spec_stores_the_resolved_config(self):
+        """The spec keeps the k_min-promoted config, so the cache key
+        matches the run the engine actually dispatches."""
+        from repro.engine import register_backend, unregister_backend
+
+        @register_backend("test-spec-floor", min_k_min=3)
+        def run_floor(g, config, on_clique=None):
+            """Never dispatched in this test."""
+
+        try:
+            spec = JobSpec(
+                graph=complete_graph(2),
+                config=EnumerationConfig(
+                    backend="test-spec-floor", k_min=1
+                ),
+            )
+            promoted = JobSpec(
+                graph=complete_graph(2),
+                config=EnumerationConfig(
+                    backend="test-spec-floor", k_min=3
+                ),
+            )
+        finally:
+            unregister_backend("test-spec-floor")
+        assert spec.config.k_min == 3
+        assert spec.config == promoted.config
+        assert hash(spec.config) == hash(promoted.config)
+
+    def test_unsupported_store_refused_at_spec_construction(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="does not support"):
+            JobSpec(
+                graph=complete_graph(2),
+                config=EnumerationConfig(
+                    backend="multiprocess", level_store="wah", jobs=2
+                ),
+            )
+
+    def test_unknown_backend_refused_at_spec_construction(self):
+        with pytest.raises(ParameterError, match="unknown backend"):
+            JobSpec(
+                graph=complete_graph(2),
+                config=EnumerationConfig(backend="warpdrive"),
+            )
+
+
+class TestToDictParallelStats:
+    def test_to_dict_reports_worker_and_transfer_counts(self):
+        """n_workers/transfers come straight from the attached result —
+        pinned here so the wire payload cannot silently regress to a
+        constant."""
+        from repro.core.clique_enumerator import EnumerationResult
+
+        job = Job("job-000042", JobSpec(graph=complete_graph(2)))
+        job.result = EnumerationResult(
+            backend="threads", n_workers=4, transfers=9
+        )
+        payload = job.to_dict()
+        assert payload["n_workers"] == 4
+        assert payload["transfers"] == 9

@@ -101,6 +101,76 @@ class TestProtocolPayloads:
             client.call("submit", graph="g.json", max_clique=100)
 
 
+class TestSubmitTimeResolution:
+    EXPECTED = (
+        "backend 'multiprocess' does not support level store "
+        "'wah'; supported: memory"
+    )
+
+    def test_unsupported_store_refused_client_side(self, client, g):
+        """ServiceClient.submit builds the JobSpec locally, so the
+        ConfigError fires before a byte goes over the wire."""
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError) as exc:
+            client.submit(
+                g,
+                config=EnumerationConfig(
+                    backend="multiprocess", level_store="wah", jobs=2
+                ),
+            )
+        assert str(exc.value) == self.EXPECTED
+
+    def test_unsupported_store_refused_server_side_too(self, client):
+        """A raw wire submit (no client-side JobSpec) is refused by the
+        server with the identical message — no queue slot is burned on
+        a job doomed to fail at dispatch."""
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError) as exc:
+            client.call(
+                "submit",
+                graph_inline={"n": 3, "edges": [[0, 1], [1, 2]]},
+                backend="multiprocess",
+                level_store="wah",
+                jobs=2,
+            )
+        assert self.EXPECTED in str(exc.value)
+        assert client.jobs() == []  # nothing was queued
+
+    def test_unknown_backend_refused_at_submit(self, client):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError, match="unknown backend"):
+            client.call(
+                "submit",
+                graph_inline={"n": 2, "edges": [[0, 1]]},
+                backend="warpdrive",
+            )
+
+    def test_threads_job_round_trips_with_worker_stats(self, client, g):
+        """A threads job travels the wire, runs, and reports its
+        parallel substrate (worker count, stolen sub-lists)."""
+        job = client.wait(
+            client.submit(
+                g,
+                config=EnumerationConfig(
+                    backend="threads",
+                    k_min=2,
+                    jobs=2,
+                    options={"steal_granularity": 1},
+                ),
+            ),
+            timeout=60,
+        )
+        assert job["status"] == "done"
+        assert job["backend"] == "threads"
+        assert job["n_workers"] == 2
+        assert job["transfers"] >= 0
+        ref = ENGINE.run(g, EnumerationConfig(backend="incore", k_min=2))
+        assert job["n_cliques"] == len(ref.cliques)
+
+
 class TestRoundTrip:
     def test_ping(self, client):
         assert client.ping()["pong"]

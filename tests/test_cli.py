@@ -116,6 +116,20 @@ class TestEnumerateBackends:
         assert rc == 1
         assert "sequential" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("store", ["memory", "disk", "wah"])
+    def test_threads_with_jobs_matches_incore_on_every_store(
+        self, store, graph_file, capsys
+    ):
+        """`repro enumerate --backend threads --jobs N` emits the
+        byte-identical clique listing on every supported level store."""
+        assert main(["enumerate", graph_file]) == 0
+        want = capsys.readouterr().out
+        assert main(
+            ["enumerate", graph_file, "--backend", "threads",
+             "--jobs", "4", "--level-store", store]
+        ) == 0
+        assert capsys.readouterr().out == want
+
 
 class TestEnumerateLevelStores:
     @pytest.mark.parametrize("store", ["memory", "disk", "wah"])
@@ -143,6 +157,35 @@ class TestEnumerateLevelStores:
         )
         assert rc == 1
         assert "does not support level store" in capsys.readouterr().err
+
+    def test_unsupported_store_message_identical_on_both_paths(
+        self, graph_file, capsys
+    ):
+        """``repro enumerate`` and the service submit path must refuse
+        an unsupported level store with the *identical* ConfigError —
+        the single resolution point in the engine config layer."""
+        from repro.errors import ConfigError
+        from repro.service.jobs import JobSpec
+        from repro.engine import EnumerationConfig
+
+        expected = (
+            "backend 'multiprocess' does not support level store "
+            "'wah'; supported: memory"
+        )
+        rc = main(
+            ["enumerate", graph_file, "--backend", "multiprocess",
+             "--jobs", "2", "--level-store", "wah"]
+        )
+        assert rc == 1
+        assert f"error: {expected}" in capsys.readouterr().err
+        with pytest.raises(ConfigError) as exc:
+            JobSpec(
+                graph=graph_file,
+                config=EnumerationConfig(
+                    backend="multiprocess", level_store="wah", jobs=2
+                ),
+            )
+        assert str(exc.value) == expected
 
 
 class TestEngines:
