@@ -56,7 +56,15 @@ BACKENDS = {
     "incore": {"backend": "incore"},
     "bitscan": {"backend": "bitscan"},
     "ooc": {"backend": "ooc"},
+    # the default ("auto") wah store now runs the compressed-domain
+    # kernels; the +bitset row pins the PR-3 at-rest path so both codec
+    # paths stay speed-gated
     "incore+wah": {"backend": "incore", "level_store": "wah"},
+    "incore+wah+bitset": {
+        "backend": "incore",
+        "level_store": "wah",
+        "compute_domain": "bitset",
+    },
     "threads": {"backend": "threads", "jobs": 2},
     "multiprocess": {"backend": "multiprocess", "jobs": 2},
 }

@@ -1,22 +1,35 @@
-"""Regression gate for the compressed level store (``--level-store wah``).
+"""Regression gate for WAH compression (``--level-store wah``), at rest
+and in the compute domain.
 
 The first committed benchmark baseline (ROADMAP: "publish regression
 baselines in CI").  The script enumerates a tiny sparse Figure-9-style
 workload — planted modules over sparse background noise, the regime the
 paper's closing compression remark targets — across the backend matrix
-and asserts the two properties the compressed store must keep forever:
+and asserts the properties the compressed paths must keep forever:
 
 * **equivalence** — every backend (``incore``/``bitscan``/``ooc``/
-  ``multiprocess``), and every store-based backend again on the WAH
-  substrate, emits the byte-identical maximal clique set;
+  ``multiprocess``), every store-based backend again on the WAH
+  substrate, and both compute domains on that substrate emit the
+  byte-identical maximal clique set;
 * **compression** — the WAH store's peak per-level ``candidate_bytes``
   undercuts the in-memory store's peak by at least
-  :data:`MIN_PEAK_REDUCTION`.
+  :data:`MIN_PEAK_REDUCTION`, on *both* compute domains (the
+  compressed-domain path may not regress the at-rest footprint);
+* **compressed-domain generation** — running the generation step's ANDs
+  on the WAH words (``compute_domain="wah"``) cuts the bytes
+  decompressed during generation by at least
+  :data:`MIN_DECOMPRESSED_REDUCTION` versus the at-rest path that
+  decompresses every chunk for expansion.
 
 Enumeration is deterministic (seeded workload, canonical emission
 order), so ``--check`` compares the measured numbers against the
 committed baseline exactly — any drift is a real behaviour change, not
-noise.
+noise.  The only recorded-but-not-compared fields are the per-level
+wall-clock timings (``level_seconds``), kept as data for the ROADMAP's
+per-level timing baselines.
+
+On any gate failure the per-store, per-level candidate-byte table is
+printed so the failing level is visible without a re-run.
 
 Usage::
 
@@ -52,7 +65,24 @@ WORKLOAD = {
 #: the memory win the compressed store must keep delivering.
 MIN_PEAK_REDUCTION = 3.0
 
+#: the codec win the compressed-domain generation must keep delivering:
+#: bytes decompressed during generation, at-rest path over wah-domain.
+MIN_DECOMPRESSED_REDUCTION = 2.0
+
 STORE_BACKENDS = ("incore", "bitscan", "ooc")
+
+#: metrics compared exactly against the committed baseline (timings are
+#: recorded but never compared).
+DRIFT_KEYS = (
+    "workload",
+    "n_cliques",
+    "clique_sha256",
+    "store_peak_candidate_bytes",
+    "wah_peak_reduction",
+    "generation_decompressed_bytes",
+    "wah_decompressed_reduction",
+    "kernel_word_ops",
+)
 
 
 def _clique_digest(cliques) -> str:
@@ -60,6 +90,39 @@ def _clique_digest(cliques) -> str:
         " ".join(map(str, c)) for c in sorted(cliques)
     ).encode()
     return hashlib.sha256(payload).hexdigest()
+
+
+def _store_table(runs: dict) -> str:
+    """The per-store, per-level candidate-byte table (failure context)."""
+    series = {
+        "memory": runs["incore"].level_stats,
+        "disk": runs["ooc"].level_stats,
+        "wah": runs["incore+wah"].level_stats,
+        "wah(bitset)": runs["incore+wah+bitset"].level_stats,
+    }
+    depth = max(len(stats) for stats in series.values())
+    lines = ["level-store candidate bytes per level:"]
+    header = f"  {'k':>3}" + "".join(
+        f"  {name:>12}" for name in series
+    )
+    lines.append(header)
+    for i in range(depth):
+        k = next(
+            stats[i].k for stats in series.values() if i < len(stats)
+        )
+        row = f"  {k:>3}"
+        for stats in series.values():
+            cell = stats[i].candidate_bytes if i < len(stats) else "-"
+            row += f"  {cell:>12}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def _fail(message: str, runs: dict | None = None) -> SystemExit:
+    """A gate failure with the store byte table attached."""
+    if runs is not None:
+        print(_store_table(runs), file=sys.stderr)
+    return SystemExit(message)
 
 
 def measure() -> dict:
@@ -84,6 +147,18 @@ def measure() -> dict:
                     backend=backend, k_min=k_min, level_store=store
                 ),
             )
+    # the PR-3 at-rest path, pinned explicitly: candidates compressed in
+    # the store but every chunk decompressed for expansion — the
+    # reference the compressed-domain gate measures against
+    runs["incore+wah+bitset"] = engine.run(
+        g,
+        EnumerationConfig(
+            backend="incore",
+            k_min=k_min,
+            level_store="wah",
+            compute_domain="bitset",
+        ),
+    )
     runs["multiprocess"] = engine.run(
         g, EnumerationConfig(backend="multiprocess", k_min=k_min, jobs=2)
     )
@@ -94,8 +169,9 @@ def measure() -> dict:
         name for name, d in digests.items() if d != reference
     )
     if mismatched:
-        raise SystemExit(
-            f"clique sets diverged from incore on: {', '.join(mismatched)}"
+        raise _fail(
+            f"clique sets diverged from incore on: {', '.join(mismatched)}",
+            runs,
         )
 
     peaks = {
@@ -108,14 +184,50 @@ def measure() -> dict:
     }
     reduction = peaks["memory"] / max(1, peaks["wah"])
     if peaks["wah"] >= peaks["memory"]:
-        raise SystemExit(
+        raise _fail(
             f"wah peak {peaks['wah']} not below memory peak "
-            f"{peaks['memory']}"
+            f"{peaks['memory']}",
+            runs,
         )
     if reduction < MIN_PEAK_REDUCTION:
-        raise SystemExit(
+        raise _fail(
             f"wah peak reduction {reduction:.2f}x below the required "
-            f"{MIN_PEAK_REDUCTION}x"
+            f"{MIN_PEAK_REDUCTION}x",
+            runs,
+        )
+    # "peak candidate bytes no worse": the compressed-domain run stores
+    # the same canonical words, so its per-level footprint must be
+    # byte-identical to the at-rest path's
+    at_rest_peak = runs["incore+wah+bitset"].peak_candidate_bytes()
+    if peaks["wah"] != at_rest_peak:
+        raise _fail(
+            f"compressed-domain peak {peaks['wah']} != at-rest peak "
+            f"{at_rest_peak} (the two paths must store identical words)",
+            runs,
+        )
+
+    # compressed-domain generation gate: bytes decompressed while
+    # generating levels, at-rest vs in-domain
+    at_rest_dec = runs["incore+wah+bitset"].domain_stats.get(
+        "decompressed_bytes", 0
+    )
+    wah_dec = runs["incore+wah"].domain_stats.get("decompressed_bytes", 0)
+    wah_avoided = runs["incore+wah"].domain_stats.get(
+        "decompressed_bytes_avoided", 0
+    )
+    if at_rest_dec <= 0:
+        raise _fail(
+            "at-rest path reports no decompressed bytes — the telemetry "
+            "is broken",
+            runs,
+        )
+    dec_reduction = at_rest_dec / max(1, wah_dec)
+    if wah_dec * MIN_DECOMPRESSED_REDUCTION > at_rest_dec:
+        raise _fail(
+            f"compressed-domain generation decompressed {wah_dec} bytes "
+            f"vs {at_rest_dec} at rest — less than the required "
+            f"{MIN_DECOMPRESSED_REDUCTION}x reduction",
+            runs,
         )
     return {
         "workload": WORKLOAD,
@@ -125,6 +237,24 @@ def measure() -> dict:
         "store_peak_candidate_bytes": peaks,
         "wah_peak_reduction": round(reduction, 2),
         "min_required_reduction": MIN_PEAK_REDUCTION,
+        "generation_decompressed_bytes": {
+            "at_rest": at_rest_dec,
+            "wah_domain": wah_dec,
+            "wah_domain_avoided": wah_avoided,
+        },
+        "wah_decompressed_reduction": (
+            round(dec_reduction, 2) if wah_dec else "inf"
+        ),
+        "min_required_decompressed_reduction": MIN_DECOMPRESSED_REDUCTION,
+        "kernel_word_ops": runs["incore+wah"].domain_stats.get(
+            "kernel_word_ops", 0
+        ),
+        # wall-clock per level (seed level first), recorded for the
+        # ROADMAP's per-level timing baselines; never drift-compared
+        "level_seconds": {
+            label: [round(s, 5) for s in runs[label].level_seconds]
+            for label in ("incore", "incore+wah", "incore+wah+bitset")
+        },
     }
 
 
@@ -152,13 +282,7 @@ def main(argv: list[str] | None = None) -> int:
     path = Path(args.check)
     baseline = json.loads(path.read_text())
     drift = []
-    for key in (
-        "workload",
-        "n_cliques",
-        "clique_sha256",
-        "store_peak_candidate_bytes",
-        "wah_peak_reduction",
-    ):
+    for key in DRIFT_KEYS:
         if metrics[key] != baseline.get(key):
             drift.append(
                 f"  {key}: baseline {baseline.get(key)!r} "
@@ -173,12 +297,16 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    dec = metrics["generation_decompressed_bytes"]
     print(
         f"wah baseline ok: {metrics['n_cliques']} cliques identical "
         f"across {len(metrics['backends_checked'])} runs; peak "
         f"candidate bytes {metrics['store_peak_candidate_bytes']['memory']}"
         f" (memory) -> {metrics['store_peak_candidate_bytes']['wah']} "
-        f"(wah), {metrics['wah_peak_reduction']}x reduction"
+        f"(wah), {metrics['wah_peak_reduction']}x reduction; "
+        f"generation decompression {dec['at_rest']} (at rest) -> "
+        f"{dec['wah_domain']} (wah domain), "
+        f"{metrics['wah_decompressed_reduction']}x"
     )
     return 0
 

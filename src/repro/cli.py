@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.cli enumerate GRAPH [--backend NAME] [--jobs N]
                                   [--level-store NAME]
+                                  [--compute-domain NAME]
                                   [--k-min K] [--k-max K] [--sink SPEC]
     python -m repro.cli engines
     python -m repro.cli maxclique GRAPH
@@ -36,6 +37,7 @@ from repro.core import graph_io
 from repro.core.maximum_clique import maximum_clique
 from repro.core.stats import summarize
 from repro.engine import (
+    COMPUTE_DOMAINS,
     LEVEL_STORES,
     EnumerationConfig,
     EnumerationEngine,
@@ -96,6 +98,18 @@ def build_parser() -> argparse.ArgumentParser:
             "candidate-level storage substrate: %(choices)s "
             "(default: the backend's own; 'wah' holds levels "
             "WAH-compressed to cut the memory peak on sparse graphs)"
+        ),
+    )
+    p_enum.add_argument(
+        "--compute-domain",
+        default="auto",
+        choices=COMPUTE_DOMAINS,
+        metavar="NAME",
+        help=(
+            "word representation of the generation step: %(choices)s "
+            "(default: auto — 'wah' level stores run the "
+            "compressed-domain AND kernels, everything else raw "
+            "bit strings)"
         ),
     )
     p_enum.add_argument(
@@ -183,6 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="candidate-level storage substrate (default: backend's own)",
     )
+    p_submit.add_argument(
+        "--compute-domain", default="auto", choices=COMPUTE_DOMAINS,
+        metavar="NAME",
+        help="generation-step word representation (default: auto)",
+    )
     p_submit.add_argument("--k-min", type=int, default=1)
     p_submit.add_argument("--k-max", type=int, default=None)
     p_submit.add_argument(
@@ -229,6 +248,7 @@ def _cmd_enumerate(args) -> int:
         k_max=args.k_max,
         jobs=args.jobs,
         level_store=args.level_store,
+        compute_domain=args.compute_domain,
     )
     spec = args.sink
     if args.count:
@@ -268,6 +288,7 @@ def _cmd_engines(args) -> int:
             info.name,
             info.storage,
             ",".join(info.level_stores) or "-",
+            ",".join(info.compute_domains) or "-",
             "yes" if info.parallel else "no",
             info.description,
         )
@@ -275,11 +296,13 @@ def _cmd_engines(args) -> int:
     ]
     name_w = max(len(r[0]) for r in rows)
     stores_w = max(len("level stores"), max(len(r[2]) for r in rows))
+    domains_w = max(len("domains"), max(len(r[3]) for r in rows))
     print(f"{'backend':<{name_w}}  storage  "
-          f"{'level stores':<{stores_w}}  parallel  description")
-    for name, storage, stores, parallel, desc in rows:
+          f"{'level stores':<{stores_w}}  {'domains':<{domains_w}}  "
+          f"parallel  description")
+    for name, storage, stores, domains, parallel, desc in rows:
         print(f"{name:<{name_w}}  {storage:<7}  {stores:<{stores_w}}  "
-              f"{parallel:<8}  {desc}")
+              f"{domains:<{domains_w}}  {parallel:<8}  {desc}")
     return 0
 
 
@@ -347,6 +370,7 @@ def _cmd_submit(args) -> int:
         k_max=args.k_max,
         jobs=args.jobs,
         level_store=args.level_store,
+        compute_domain=args.compute_domain,
     )
     with ServiceClient(_service_address(args)) as client:
         job_id = client.submit(

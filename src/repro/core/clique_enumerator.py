@@ -140,6 +140,27 @@ class EnumerationResult:
     transfers:
         Sub-lists relayed between workers by the load-balancing
         scheduler (0 for sequential substrates).
+    compute_domain:
+        The resolved word representation the generation step ran on:
+        ``"bitset"`` (raw ``uint64`` word arrays) or ``"wah"`` (the
+        compressed-domain kernels of
+        :mod:`repro.core.compressed_domain`).  Always the resolved
+        value — a config's ``"auto"`` never appears here.
+    domain_stats:
+        Compressed-domain telemetry, empty for pure bitset runs:
+        ``decompressed_bytes`` (sub-list bytes materialised in raw form
+        while streaming levels), ``decompressed_bytes_avoided`` (raw
+        bytes that stayed compressed end to end), ``kernel_word_ops`` /
+        ``kernel_ands`` (compressed words touched / kernel calls), and
+        ``adj_rows_compressed``.  Deliberately *not* part of
+        ``counters``: the operation counters follow the paper's
+        representation-independent model and stay byte-identical across
+        compute domains.
+    level_seconds:
+        Wall-clock seconds per candidate level as timed by the shared
+        level loop — entry 0 is the seeding step, entry ``i`` the
+        generation of ``level_stats[i]``.  Empty for backends that do
+        not run the shared loop.
     """
 
     cliques: list[tuple[int, ...]] = field(default_factory=list)
@@ -153,6 +174,9 @@ class EnumerationResult:
     wall_seconds: float = 0.0
     n_workers: int = 1
     transfers: int = 0
+    compute_domain: str = "bitset"
+    domain_stats: dict = field(default_factory=dict)
+    level_seconds: list[float] = field(default_factory=list)
 
     @property
     def levels(self) -> int:

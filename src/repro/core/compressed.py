@@ -22,19 +22,46 @@ common-neighbor intersections on very sparse genome-scale graphs.
 
 The encoder always produces *canonical* output: adjacent fills of the same
 bit value are merged and a fill of length 1 is still a fill (one word), so
-equal bitmaps encode to equal word sequences.
+equal bitmaps encode to equal word sequences.  The full word layout, the
+fill encoding, and the group-coverage invariant the constructor enforces
+are documented in ``docs/wah-format.md``.
+
+Two layers are provided, mirroring :mod:`repro.core.bitset`:
+
+:class:`WahBitmap`
+    A safe, validated wrapper with set algebra on the compressed form,
+    used by the level stores and the public API.
+
+word-array kernels (:func:`wah_and_into`, :func:`wah_and_any`,
+:func:`wah_and_count`, :func:`wah_indices_above`,
+:func:`wah_from_sorted_indices`)
+    Allocation-light primitives over raw WAH word lists used by the
+    compressed-domain generation step
+    (:class:`repro.core.compressed_domain.CompressedExpander`), where
+    constructing wrapper objects per candidate clique would dominate run
+    time.  A reusable :class:`WahScratch` carries the output buffer and
+    the word-op tally between calls.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import BitSetError
 from repro.core.bitset import WORD_BITS, BitSet
 
-__all__ = ["WahBitmap", "GROUP_BITS"]
+__all__ = [
+    "WahBitmap",
+    "GROUP_BITS",
+    "WahScratch",
+    "wah_and_into",
+    "wah_and_any",
+    "wah_and_count",
+    "wah_indices_above",
+    "wah_from_sorted_indices",
+]
 
 #: Number of payload bits per WAH group/literal.
 GROUP_BITS = 31
@@ -223,6 +250,17 @@ class WahBitmap:
         ``n`` is omitted the full ``64 * len(words)``-bit universe is
         used, which round-trips exactly through :meth:`to_words` for any
         word array whose tail invariant holds.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> bm = WahBitmap.from_words(np.array([0b1011], dtype=np.uint64))
+        >>> (bm.n, sorted(bm.iter_indices()))
+        (64, [0, 1, 3])
+        >>> np.array_equal(
+        ...     bm.to_words(), np.array([0b1011], dtype=np.uint64)
+        ... )
+        True
         """
         arr = np.ascontiguousarray(words, dtype=np.uint64)
         if n is None:
@@ -348,6 +386,14 @@ class WahBitmap:
         operands: the merged scan stops at the first overlapping group
         and bulk-skips aligned fill runs, so a hit costs only the
         compressed prefix before the overlap.
+
+        Examples
+        --------
+        >>> a = WahBitmap.from_indices(10_000, [3, 9_000])
+        >>> a.intersect_any(WahBitmap.from_indices(10_000, [9_000]))
+        True
+        >>> a.intersect_any(WahBitmap.from_indices(10_000, [4, 8_999]))
+        False
         """
         self._check(other)
         ra, rb = _GroupReader(self._words), _GroupReader(other._words)
@@ -392,6 +438,22 @@ class WahBitmap:
 
     # -- storage metrics ----------------------------------------------------
 
+    def wah_words(self) -> list[int]:
+        """The raw compressed WAH words, for the word-array kernels.
+
+        Returns the internal canonical word list *without copying* —
+        treat it as read-only.  This is the representation
+        :func:`wah_and_into` / :func:`wah_and_any` /
+        :func:`wah_and_count` operate on, paired with the bitmap's
+        group count ``(n + 30) // 31``.
+
+        Examples
+        --------
+        >>> [hex(w) for w in WahBitmap.from_indices(93, [0]).wah_words()]
+        ['0x1', '0x80000002']
+        """
+        return self._words
+
     def compressed_words(self) -> int:
         """Number of 32-bit words in the compressed encoding."""
         return len(self._words)
@@ -430,3 +492,395 @@ class WahBitmap:
             f"WahBitmap(n={self.n}, words={len(self._words)}, "
             f"count={self.count()})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Word-array kernels: the compressed-domain hot path
+# ---------------------------------------------------------------------------
+#
+# These functions operate on raw canonical WAH word lists (as returned by
+# :meth:`WahBitmap.wah_words`) plus an explicit group count, skipping the
+# per-call universe validation the `WahBitmap` constructor performs.  They
+# are what the compressed-domain generation step
+# (:class:`repro.core.compressed_domain.CompressedExpander`) runs once or
+# more per candidate clique, so the contract is deliberately lean:
+#
+# * both operands must be canonical encodings covering exactly `n_groups`
+#   groups (every `WahBitmap` guarantees this at construction);
+# * outputs are canonical, so kernel results and encoder results for the
+#   same bit content are byte-identical word sequences;
+# * fill runs are consumed in bulk on both operands, so the cost is
+#   proportional to the *compressed* sizes, never to the universe.
+
+
+class WahScratch:
+    """Reusable workspace and op tally for the word-array kernels.
+
+    One scratch serves one thread of kernel calls: ``buf`` is the
+    reusable output buffer :func:`wah_and_into` writes into (cleared at
+    each call, so a result that must outlive the next call has to be
+    copied with ``list(...)``), and the counters record the kernel
+    traffic the compressed-domain benchmarks report:
+
+    ``word_ops``
+        Compressed 32-bit words consumed plus produced across all calls.
+    ``and_ops``
+        Kernel invocations (one per compressed-domain AND / test).
+
+    Examples
+    --------
+    >>> scratch = WahScratch()
+    >>> a = WahBitmap.from_indices(62, [0, 40])
+    >>> b = WahBitmap.from_indices(62, [40, 41])
+    >>> out = wah_and_into(a.wah_words(), b.wah_words(), 2, scratch)
+    >>> (out is scratch.buf, scratch.and_ops)
+    (True, 1)
+    >>> sorted(WahBitmap(62, list(out)).iter_indices())
+    [40]
+    """
+
+    __slots__ = ("buf", "word_ops", "and_ops")
+
+    def __init__(self) -> None:
+        self.buf: list[int] = []
+        self.word_ops = 0
+        self.and_ops = 0
+
+    def reset_stats(self) -> None:
+        """Zero the tallies (the buffer is managed by the kernels)."""
+        self.word_ops = 0
+        self.and_ops = 0
+
+
+def _flush_run(out: list[int], bit: int, length: int) -> None:
+    """Append a canonical fill run, chunked at the 30-bit length cap."""
+    while length > _FILL_LEN_MASK:
+        out.append(_make_fill(bit, _FILL_LEN_MASK))
+        length -= _FILL_LEN_MASK
+    if length:
+        out.append(_make_fill(bit, length))
+
+
+def wah_and_into(
+    a: Sequence[int],
+    b: Sequence[int],
+    n_groups: int,
+    scratch: WahScratch | None = None,
+) -> list[int]:
+    """AND two canonical WAH word streams without decompressing either.
+
+    Returns the canonical word list of ``a & b`` — written into
+    ``scratch.buf`` when a scratch is given (copy it before the next
+    kernel call if it must survive), a fresh list otherwise.  Aligned
+    fill runs are consumed in bulk, so the merge touches each compressed
+    word exactly once.
+
+    Examples
+    --------
+    >>> a = WahBitmap.from_indices(10_000, [5, 9_000])
+    >>> b = WahBitmap.from_indices(10_000, [5, 70, 9_001])
+    >>> n_groups = (10_000 + 30) // 31
+    >>> out = wah_and_into(a.wah_words(), b.wah_words(), n_groups)
+    >>> sorted(WahBitmap(10_000, out).iter_indices())
+    [5]
+    >>> out == (a & b).wah_words()   # canonical == encoder output
+    True
+    """
+    if scratch is None:
+        out: list[int] = []
+    else:
+        out = scratch.buf
+        out.clear()
+    ia = ib = 0
+    a_pend = b_pend = 0
+    a_val = b_val = 0
+    a_fill = b_fill = False
+    run_bit = -1
+    run_len = 0
+    remaining = n_groups
+    while remaining:
+        if not a_pend:
+            w = a[ia]
+            ia += 1
+            if w & _FILL_FLAG:
+                a_pend = w & _FILL_LEN_MASK
+                a_val = _LITERAL_MASK if w & _FILL_BIT else 0
+                a_fill = True
+            else:
+                a_pend = 1
+                a_val = w
+                a_fill = False
+        if not b_pend:
+            w = b[ib]
+            ib += 1
+            if w & _FILL_FLAG:
+                b_pend = w & _FILL_LEN_MASK
+                b_val = _LITERAL_MASK if w & _FILL_BIT else 0
+                b_fill = True
+            else:
+                b_pend = 1
+                b_val = w
+                b_fill = False
+        # overlap of the two current runs; >1 only when both sides are
+        # mid-fill, in which case the AND is constant over the overlap
+        take = a_pend if a_pend < b_pend else b_pend
+        g = a_val & b_val
+        if g == 0 or g == _LITERAL_MASK:
+            bit = 1 if g else 0
+            if run_bit == bit:
+                run_len += take
+            else:
+                if run_len:
+                    _flush_run(out, run_bit, run_len)
+                run_bit = bit
+                run_len = take
+        else:
+            # a literal result implies at least one literal operand,
+            # whose run length is 1 — so take == 1 here
+            if run_len:
+                _flush_run(out, run_bit, run_len)
+                run_len = 0
+                run_bit = -1
+            out.append(g)
+        a_pend -= take
+        b_pend -= take
+        remaining -= take
+    if run_len:
+        _flush_run(out, run_bit, run_len)
+    if scratch is not None:
+        scratch.word_ops += ia + ib + len(out)
+        scratch.and_ops += 1
+    return out
+
+
+def wah_and_any(
+    a: Sequence[int],
+    b: Sequence[int],
+    n_groups: int,
+    scratch: WahScratch | None = None,
+) -> bool:
+    """``BitOneExists(a & b)`` on compressed operands, allocation-free.
+
+    The per-candidate maximality test of the compressed-domain
+    generation step: stops at the first overlapping group and bulk-skips
+    aligned fill runs, so a hit costs only the compressed prefix before
+    the overlap and a miss costs one pass over the compressed words.
+
+    Examples
+    --------
+    >>> a = WahBitmap.from_indices(10_000, [5, 9_000])
+    >>> n_groups = (10_000 + 30) // 31
+    >>> wah_and_any(
+    ...     a.wah_words(),
+    ...     WahBitmap.from_indices(10_000, [9_000]).wah_words(),
+    ...     n_groups,
+    ... )
+    True
+    >>> wah_and_any(
+    ...     a.wah_words(), WahBitmap.zeros(10_000).wah_words(), n_groups
+    ... )
+    False
+    """
+    ia = ib = 0
+    a_pend = b_pend = 0
+    a_val = b_val = 0
+    remaining = n_groups
+    hit = False
+    while remaining:
+        if not a_pend:
+            w = a[ia]
+            ia += 1
+            if w & _FILL_FLAG:
+                a_pend = w & _FILL_LEN_MASK
+                a_val = _LITERAL_MASK if w & _FILL_BIT else 0
+            else:
+                a_pend = 1
+                a_val = w
+        if not b_pend:
+            w = b[ib]
+            ib += 1
+            if w & _FILL_FLAG:
+                b_pend = w & _FILL_LEN_MASK
+                b_val = _LITERAL_MASK if w & _FILL_BIT else 0
+            else:
+                b_pend = 1
+                b_val = w
+        if a_val & b_val:
+            hit = True
+            break
+        take = a_pend if a_pend < b_pend else b_pend
+        a_pend -= take
+        b_pend -= take
+        remaining -= take
+    if scratch is not None:
+        scratch.word_ops += ia + ib
+        scratch.and_ops += 1
+    return hit
+
+
+def wah_and_count(
+    a: Sequence[int],
+    b: Sequence[int],
+    n_groups: int,
+    scratch: WahScratch | None = None,
+) -> int:
+    """Population count of ``a & b`` without materialising the AND.
+
+    Examples
+    --------
+    >>> a = WahBitmap.from_indices(200, range(0, 200, 2))
+    >>> b = WahBitmap.from_indices(200, range(0, 200, 3))
+    >>> wah_and_count(a.wah_words(), b.wah_words(), (200 + 30) // 31)
+    34
+    >>> len([i for i in range(200) if i % 6 == 0])
+    34
+    """
+    ia = ib = 0
+    a_pend = b_pend = 0
+    a_val = b_val = 0
+    remaining = n_groups
+    total = 0
+    while remaining:
+        if not a_pend:
+            w = a[ia]
+            ia += 1
+            if w & _FILL_FLAG:
+                a_pend = w & _FILL_LEN_MASK
+                a_val = _LITERAL_MASK if w & _FILL_BIT else 0
+            else:
+                a_pend = 1
+                a_val = w
+        if not b_pend:
+            w = b[ib]
+            ib += 1
+            if w & _FILL_FLAG:
+                b_pend = w & _FILL_LEN_MASK
+                b_val = _LITERAL_MASK if w & _FILL_BIT else 0
+            else:
+                b_pend = 1
+                b_val = w
+        take = a_pend if a_pend < b_pend else b_pend
+        g = a_val & b_val
+        if g == _LITERAL_MASK:
+            total += GROUP_BITS * take
+        elif g:
+            total += g.bit_count()
+        a_pend -= take
+        b_pend -= take
+        remaining -= take
+    if scratch is not None:
+        scratch.word_ops += ia + ib
+        scratch.and_ops += 1
+    return total
+
+
+def wah_indices_above(words: Sequence[int], lo: int) -> Iterator[int]:
+    """Yield the set-bit indices strictly greater than ``lo``, ascending.
+
+    The compressed-domain partner scan of the bit-scan generation
+    variant: zero fills advance the cursor in O(1) whatever their run
+    length, and literal groups entirely at or below ``lo`` are skipped
+    without a bit scan, so the cost is the compressed size plus the
+    yielded population.
+
+    Examples
+    --------
+    >>> bm = WahBitmap.from_indices(10_000, [3, 800, 801, 9_000])
+    >>> list(wah_indices_above(bm.wah_words(), 800))
+    [801, 9000]
+    """
+    base = 0
+    floor = lo + 1
+    for w in words:
+        if w & _FILL_FLAG:
+            span = (w & _FILL_LEN_MASK) * GROUP_BITS
+            if w & _FILL_BIT:
+                start = base if base >= floor else floor
+                end = base + span
+                if start < end:
+                    yield from range(start, end)
+            base += span
+        else:
+            if w and base + GROUP_BITS > floor:
+                value = w
+                while value:
+                    low = value & -value
+                    idx = base + low.bit_length() - 1
+                    if idx >= floor:
+                        yield idx
+                    value ^= low
+            base += GROUP_BITS
+
+
+def wah_from_sorted_indices(n: int, indices: Sequence[int]) -> list[int]:
+    """Canonically encode ascending set-bit indices as WAH words.
+
+    The compressed-domain tail encoder: builds the word stream directly
+    from the indices (cost proportional to the output, not to ``n``),
+    producing exactly the words :meth:`WahBitmap.from_indices` would —
+    so compressed-domain children and encoder-built children are
+    byte-identical.
+
+    Examples
+    --------
+    >>> words = wah_from_sorted_indices(10_000, [5, 310, 311])
+    >>> sorted(WahBitmap(10_000, words).iter_indices())
+    [5, 310, 311]
+    >>> words == WahBitmap.from_indices(10_000, [5, 310, 311]).wah_words()
+    True
+    """
+    n_groups = (n + GROUP_BITS - 1) // GROUP_BITS
+    out: list[int] = []
+    run_bit = -1
+    run_len = 0
+    cur_group = 0
+    i = 0
+    n_idx = len(indices)
+    while i < n_idx:
+        gi = indices[i] // GROUP_BITS
+        if gi >= n_groups:
+            raise BitSetError(
+                f"index {indices[i]} outside the {n}-bit universe"
+            )
+        if gi > cur_group:
+            gap = gi - cur_group
+            if run_bit == 0:
+                run_len += gap
+            else:
+                if run_len:
+                    _flush_run(out, run_bit, run_len)
+                run_bit = 0
+                run_len = gap
+            cur_group = gi
+        group = 0
+        base = gi * GROUP_BITS
+        while i < n_idx and indices[i] < base + GROUP_BITS:
+            group |= 1 << (indices[i] - base)
+            i += 1
+        if group == _LITERAL_MASK:
+            if run_bit == 1:
+                run_len += 1
+            else:
+                if run_len:
+                    _flush_run(out, run_bit, run_len)
+                run_bit = 1
+                run_len = 1
+        else:
+            if run_len:
+                _flush_run(out, run_bit, run_len)
+                run_bit = -1
+                run_len = 0
+            out.append(group)
+        cur_group = gi + 1
+    if cur_group < n_groups:
+        gap = n_groups - cur_group
+        if run_bit == 0:
+            run_len += gap
+        else:
+            if run_len:
+                _flush_run(out, run_bit, run_len)
+            run_bit = 0
+            run_len = gap
+    if run_len:
+        _flush_run(out, run_bit, run_len)
+    return out

@@ -1,0 +1,321 @@
+"""Compressed-domain generation: the level step that never decompresses.
+
+The paper closes Section 2.3 by observing that the sparsity of its
+bitmap memory index "can potentially provide high compression rate and
+allow for bitwise operations to be performed on the compressed data."
+PR 3's :class:`~repro.engine.level_store.CompressedLevelStore` delivered
+the first half — candidates rest WAH-compressed — but still decompressed
+every chunk back to raw ``uint64`` words for expansion, paying the codec
+twice and materialising the full working set anyway.  This module
+delivers the second half: a generation step whose common-neighbor
+derivations and ``BitOneExists`` maximality tests run *directly on the
+WAH words* via the :mod:`repro.core.compressed` kernels, emitting new
+tails and CN strings as WAH words without a ``BitSet`` round trip.
+
+:class:`CompressedExpander` matches the engine's
+:data:`~repro.engine.level_loop.GenerationStep` signature, so it plugs
+into the shared level loop exactly where
+:func:`~repro.core.clique_enumerator.generate_next_level` does — and it
+charges the *identical* operation counters: the
+:class:`~repro.core.counters.OpCounters` model counts the paper's
+algorithmic operations (one AND per child CN derivation, one AND plus
+one BitOneExists per generated clique, one adjacency probe per scanned
+pair), which are representation-independent.  Output cliques, per-level
+statistics, and merged counters are therefore byte-identical between
+``compute_domain="bitset"`` and ``"wah"``; only the word arithmetic —
+and the telemetry reported via :meth:`CompressedExpander.stats` —
+differs.
+
+Two step models are provided, mirroring the two bitset steps so each
+backend keeps its documented counter model:
+
+``"pairs"``
+    The paper's tail-list generation (Figure 3), used by ``incore`` and
+    ``threads``.
+``"bitscan"``
+    The rejected Section 2.3 bit-scan variant, used by ``bitscan``
+    (including its ``bits_scanned`` cost accounting) — except that the
+    partner scan walks the compressed words with fill-run skipping
+    instead of visiting all ``n`` bits.
+
+Thread safety: one expander serves one run, but its :meth:`step` may be
+called concurrently by the ``threads`` backend's workers — the WAH
+adjacency-row cache is shared under a lock, and each worker thread gets
+its own :class:`~repro.core.compressed.WahScratch`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.core.bitset import WORD_BITS
+from repro.core.compressed import (
+    WahBitmap,
+    WahScratch,
+    wah_and_any,
+    wah_and_into,
+    wah_from_sorted_indices,
+    wah_indices_above,
+)
+from repro.core.counters import OpCounters
+from repro.core.graph import Graph
+from repro.core.sublist import CliqueSubList, CompressedSubList
+
+__all__ = ["CompressedExpander", "STEP_MODELS"]
+
+#: the two generation-step counter models an expander can mirror.
+STEP_MODELS = ("pairs", "bitscan")
+
+
+class CompressedExpander:
+    """A generation step running the level expansion in the WAH domain.
+
+    Parameters
+    ----------
+    g:
+        The input graph; its adjacency rows are WAH-compressed lazily,
+        one row per vertex the expansion actually touches, and cached
+        for the whole run.
+    model:
+        Which bitset step's structure (and counter model) to mirror:
+        ``"pairs"`` (:func:`~repro.core.clique_enumerator.
+        generate_next_level`) or ``"bitscan"``
+        (:func:`~repro.core.clique_enumerator.
+        generate_next_level_bitscan`).
+    emit_compressed:
+        When True, :meth:`step` consumes
+        :class:`~repro.core.sublist.CompressedSubList` entries (as
+        streamed by ``CompressedLevelStore.stream_entries``) and emits
+        children in the same form — the zero-round-trip path.  When
+        False it consumes/produces plain
+        :class:`~repro.core.sublist.CliqueSubList` for the ``memory`` /
+        ``disk`` stores; the kernels still perform the derivations and
+        maximality tests on compressed operands.
+    """
+
+    def __init__(
+        self,
+        g: Graph,
+        model: str = "pairs",
+        emit_compressed: bool = False,
+    ):
+        if model not in STEP_MODELS:
+            raise ParameterError(
+                f"step model must be one of {', '.join(STEP_MODELS)}, "
+                f"got {model!r}"
+            )
+        self._g = g
+        self._adj = g.adj
+        self._model = model
+        self._emit_compressed = emit_compressed
+        #: bit universe of every CN string / tail bitmap of this graph —
+        #: the full 64-bit word span, matching CompressedSubList.
+        self._universe = WORD_BITS * int(g.adj.shape[1]) if g.n else 0
+        self._n_groups = (self._universe + 30) // 31
+        self._rows: list[list[int] | None] = [None] * g.n
+        self._rows_compressed = 0
+        self._scratches: list[WahScratch] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- shared state --------------------------------------------------------
+
+    def _row_words(self, v: int) -> list[int]:
+        """The WAH words of vertex ``v``'s adjacency row (cached)."""
+        row = self._rows[v]
+        if row is None:
+            words = WahBitmap.from_words(self._adj[v]).wah_words()
+            with self._lock:
+                if self._rows[v] is None:
+                    self._rows[v] = words
+                    self._rows_compressed += 1
+                row = self._rows[v]
+        return row
+
+    def _scratch(self) -> WahScratch:
+        """This thread's kernel workspace (created on first use)."""
+        scratch = getattr(self._local, "scratch", None)
+        if scratch is None:
+            scratch = WahScratch()
+            self._local.scratch = scratch
+            with self._lock:
+                self._scratches.append(scratch)
+        return scratch
+
+    def stats(self) -> dict:
+        """Telemetry for ``EnumerationResult.domain_stats``.
+
+        Read after the run (the threads backend joins its pool at every
+        level barrier, so worker scratches are quiescent by then).
+        """
+        with self._lock:
+            return {
+                "kernel_word_ops": sum(
+                    s.word_ops for s in self._scratches
+                ),
+                "kernel_ands": sum(s.and_ops for s in self._scratches),
+                "adj_rows_compressed": self._rows_compressed,
+            }
+
+    # -- the generation step -------------------------------------------------
+
+    def step(
+        self,
+        sublists: list,
+        g: Graph,
+        counters: OpCounters,
+        emit: Callable[[tuple[int, ...]], None],
+    ) -> list:
+        """One ``GenerateKCliques`` step in the compressed domain.
+
+        Matches the engine's ``GenerationStep`` signature; ``g`` must be
+        the graph the expander was built for.
+        """
+        if self._model == "pairs":
+            return self._step_pairs(sublists, counters, emit)
+        return self._step_bitscan(sublists, counters, emit)
+
+    def _unpack(self, sl) -> tuple[list[int], list[int] | None, object]:
+        """``(tails, cn_wah, cn_words)`` whatever the sub-list form.
+
+        ``cn_wah`` is ``None`` for uncompressed input — compressed
+        lazily by the caller only when the sub-list produces children.
+        """
+        if isinstance(sl, CompressedSubList):
+            return list(sl.tails.iter_indices()), sl.cn.wah_words(), None
+        return sl.tails.tolist(), None, sl.cn_words
+
+    def _child(
+        self,
+        prefix: tuple[int, ...],
+        v: int,
+        cand: list[int],
+        child_cn: list[int],
+        cn_words,
+    ):
+        """Build one retained child sub-list in the configured form."""
+        if self._emit_compressed:
+            universe = self._universe
+            return CompressedSubList(
+                prefix=prefix,
+                n_tails=len(cand),
+                tails=WahBitmap(
+                    universe, wah_from_sorted_indices(universe, cand)
+                ),
+                cn=WahBitmap(universe, list(child_cn)),
+            )
+        if cn_words is None:  # compressed input, uncompressed output
+            child_words = WahBitmap(
+                self._universe, list(child_cn)
+            ).to_words()
+        else:
+            child_words = cn_words & self._adj[v]
+        return CliqueSubList(
+            prefix=prefix,
+            tails=np.asarray(cand, dtype=np.int64),
+            cn_words=child_words,
+        )
+
+    def _step_pairs(self, sublists, counters, emit) -> list:
+        """The tail-list model: counters match ``generate_next_level``."""
+        out: list = []
+        scratch = self._scratch()
+        n_groups = self._n_groups
+        adj = self._adj
+        for sl in sublists:
+            tails, cn_wah, cn_words = self._unpack(sl)
+            t = len(tails)
+            if t < 2:
+                continue
+            counters.pair_checks += t * (t - 1) // 2
+            for i in range(t - 1):
+                v = tails[i]
+                row_v = adj[v]
+                partners = [
+                    u
+                    for u in tails[i + 1:]
+                    if (int(row_v[u >> 6]) >> (u & 63)) & 1
+                ]
+                if not partners:
+                    continue
+                counters.bit_and_ops += 1  # child CN derivation
+                if cn_wah is None:
+                    cn_wah = WahBitmap.from_words(cn_words).wah_words()
+                child_cn = wah_and_into(
+                    cn_wah, self._row_words(v), n_groups, scratch
+                )
+                child_prefix = sl.prefix + (v,)
+                cand: list[int] = []
+                for u in partners:
+                    counters.cliques_generated += 1
+                    counters.bit_and_ops += 1
+                    counters.bit_exist_checks += 1
+                    if wah_and_any(
+                        child_cn, self._row_words(u), n_groups, scratch
+                    ):
+                        cand.append(u)
+                    else:
+                        counters.maximal_emitted += 1
+                        emit(child_prefix + (u,))
+                if len(cand) > 1:
+                    counters.sublists_created += 1
+                    out.append(
+                        self._child(
+                            child_prefix, v, cand, child_cn, cn_words
+                        )
+                    )
+        return out
+
+    def _step_bitscan(self, sublists, counters, emit) -> list:
+        """The bit-scan model: counters match
+        ``generate_next_level_bitscan`` (including ``bits_scanned``),
+        but the partner scan fill-skips the compressed words instead of
+        visiting all ``n`` bits."""
+        out: list = []
+        scratch = self._scratch()
+        n_groups = self._n_groups
+        n = self._g.n
+        for sl in sublists:
+            tails, cn_wah, cn_words = self._unpack(sl)
+            if len(tails) < 2:
+                continue
+            if cn_wah is None:
+                cn_wah = WahBitmap.from_words(cn_words).wah_words()
+            for v in tails[:-1]:
+                counters.bit_and_ops += 1
+                child_cn = wah_and_into(
+                    cn_wah, self._row_words(v), n_groups, scratch
+                )
+                # the documented bitscan cost model charges the full
+                # n-bit scan per child, whatever representation ran it
+                counters.extra["bits_scanned"] = (
+                    counters.extra.get("bits_scanned", 0) + n
+                )
+                partners = list(wah_indices_above(child_cn, v))
+                if not partners:
+                    continue
+                counters.cliques_generated += len(partners)
+                counters.bit_and_ops += len(partners)
+                counters.bit_exist_checks += len(partners)
+                child_prefix = sl.prefix + (v,)
+                cand: list[int] = []
+                for u in partners:
+                    if wah_and_any(
+                        child_cn, self._row_words(u), n_groups, scratch
+                    ):
+                        cand.append(u)
+                    else:
+                        counters.maximal_emitted += 1
+                        emit(child_prefix + (u,))
+                if len(cand) > 1:
+                    counters.sublists_created += 1
+                    out.append(
+                        self._child(
+                            child_prefix, v, cand, child_cn, cn_words
+                        )
+                    )
+        return out

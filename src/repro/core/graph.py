@@ -52,7 +52,7 @@ class Graph:
     >>> g.add_edge(0, 1); g.add_edge(1, 2)
     >>> g.degree(1)
     2
-    >>> sorted(g.neighbors(1))
+    >>> sorted(g.neighbors(1).tolist())
     [0, 2]
     """
 

@@ -164,6 +164,37 @@ class CompressedSubList:
             + pointer_bytes
         )
 
+    def uncompressed_nbytes(
+        self, index_bytes: int = 8, pointer_bytes: int = 8
+    ) -> int:
+        """What :meth:`CliqueSubList.nbytes` would charge for this
+        sub-list, computed without decompressing anything.
+
+        The tails array would be ``n_tails`` indices and the
+        common-neighbor string ``cn.n / 8`` bytes of raw ``uint64``
+        words (the universe is always a whole number of 64-bit words,
+        see :meth:`from_sublist`).  This is the per-entry baseline the
+        compressed paths report as *decompressed bytes avoided*.
+        """
+        return (
+            self.n_tails * index_bytes
+            + len(self.prefix) * index_bytes
+            + self.cn.n // 8
+            + pointer_bytes
+        )
+
+    def work_estimate(self) -> int:
+        """Generation-work units, identical to
+        :meth:`CliqueSubList.work_estimate` for the same content.
+
+        Computed from the cached tail count and the universe size so the
+        parallel load balancer partitions compressed and uncompressed
+        levels identically (``cn.n // 64`` is the raw word count the
+        uncompressed estimate reads from ``cn_words.size``).
+        """
+        t = self.n_tails
+        return t * (t - 1) // 2 + t * max(1, (self.cn.n // WORD_BITS) // 8)
+
     def __repr__(self) -> str:
         return (
             f"CompressedSubList(prefix={self.prefix}, "

@@ -15,7 +15,10 @@ package turns that claim into architecture:
   :mod:`~repro.engine.level_loop` — the shared single-pass level
   storage contract (``memory`` / ``disk`` / ``wah``-compressed,
   selected by ``EnumerationConfig.level_store``) and the one
-  level-loop skeleton every store-based backend runs;
+  level-loop skeleton every store-based backend runs; the generation
+  step itself can run on raw words or on the WAH-compressed form
+  (``EnumerationConfig.compute_domain``,
+  :mod:`repro.core.compressed_domain`);
 * :mod:`~repro.engine.backends` — the five built-ins: ``"incore"``,
   ``"bitscan"``, ``"ooc"``, ``"threads"``, ``"multiprocess"``;
 * :class:`~repro.engine.api.EnumerationEngine` — the facade that
@@ -38,8 +41,10 @@ equivalence across the whole registry.
 from repro.core.clique_enumerator import EnumerationResult, LevelStats
 from repro.core.counters import IOStats, OpCounters
 from repro.engine.config import (
+    COMPUTE_DOMAINS,
     LEVEL_STORES,
     EnumerationConfig,
+    resolve_compute_domain,
     resolve_for_backend,
 )
 from repro.engine.registry import (
@@ -63,6 +68,8 @@ from repro.engine.api import EnumerationEngine, run_enumeration
 __all__ = [
     "EnumerationConfig",
     "resolve_for_backend",
+    "resolve_compute_domain",
+    "COMPUTE_DOMAINS",
     "EnumerationEngine",
     "EnumerationResult",
     "LevelStats",

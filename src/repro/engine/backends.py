@@ -36,17 +36,19 @@ from repro.core.clique_enumerator import (
     generate_next_level,
     generate_next_level_bitscan,
 )
+from repro.core.compressed_domain import CompressedExpander
 from repro.core.counters import IOStats
 from repro.core.graph import Graph
 from repro.core.out_of_core import DiskLevelStore
 from repro.engine.config import (
     LEVEL_STORES,
     EnumerationConfig,
+    resolve_compute_domain,
     resolve_for_backend,
 )
 from repro.engine.level_loop import make_emitter, run_level_loop
 from repro.engine.level_store import CompressedLevelStore, MemoryLevelStore
-from repro.engine.registry import register_backend
+from repro.engine.registry import get_backend, register_backend
 
 __all__ = [
     "run_incore",
@@ -112,11 +114,41 @@ def _reject_jobs(config: EnumerationConfig):
         )
 
 
+def _resolve_step(
+    g: Graph,
+    config: EnumerationConfig,
+    store_name: str,
+    backend_name: str,
+    model: str,
+    bitset_step,
+):
+    """Resolve the generation step for the configured compute domain.
+
+    Returns ``(step, compressed_stream, expander, domain)``: the step
+    callable for :func:`~repro.engine.level_loop.run_level_loop`,
+    whether the level should stream in compressed form (``"wah"``
+    domain on the ``"wah"`` store — the zero-round-trip pairing), the
+    :class:`~repro.core.compressed_domain.CompressedExpander` carrying
+    the kernel telemetry (``None`` in the bitset domain), and the
+    resolved domain name for ``result.compute_domain``.
+    """
+    domain = resolve_compute_domain(
+        config, store_name, get_backend(backend_name)
+    )
+    if domain == "bitset":
+        return bitset_step, False, None, "bitset"
+    expander = CompressedExpander(
+        g, model=model, emit_compressed=store_name == "wah"
+    )
+    return expander.step, store_name == "wah", expander, "wah"
+
+
 @register_backend(
     "incore",
     description="in-memory candidates, tail-list generation (the paper)",
     storage="memory",
     level_stores=LEVEL_STORES,
+    compute_domains=("bitset", "wah"),
 )
 def run_incore(
     g: Graph, config: EnumerationConfig, on_clique: OnClique = None
@@ -125,15 +157,24 @@ def run_incore(
     store_factory, io, store_opts = _store_policy(config, "memory")
     _reject_unknown_options(config, store_opts)
     _reject_jobs(config)
-    return run_level_loop(
+    store_name = config.level_store or "memory"
+    step, compressed_stream, expander, domain = _resolve_step(
+        g, config, store_name, "incore", "pairs", generate_next_level
+    )
+    result = run_level_loop(
         g,
         config,
         on_clique,
-        step=generate_next_level,
+        step=step,
         store_factory=store_factory,
         backend="incore",
         io=io,
+        compressed_stream=compressed_stream,
     )
+    result.compute_domain = domain
+    if expander is not None:
+        result.domain_stats.update(expander.stats())
+    return result
 
 
 @register_backend(
@@ -142,6 +183,7 @@ def run_incore(
     "(ablation)",
     storage="memory",
     level_stores=LEVEL_STORES,
+    compute_domains=("bitset", "wah"),
 )
 def run_bitscan(
     g: Graph, config: EnumerationConfig, on_clique: OnClique = None
@@ -150,15 +192,29 @@ def run_bitscan(
     store_factory, io, store_opts = _store_policy(config, "memory")
     _reject_unknown_options(config, store_opts)
     _reject_jobs(config)
-    return run_level_loop(
+    store_name = config.level_store or "memory"
+    step, compressed_stream, expander, domain = _resolve_step(
+        g,
+        config,
+        store_name,
+        "bitscan",
+        "bitscan",
+        generate_next_level_bitscan,
+    )
+    result = run_level_loop(
         g,
         config,
         on_clique,
-        step=generate_next_level_bitscan,
+        step=step,
         store_factory=store_factory,
         backend="bitscan",
         io=io,
+        compressed_stream=compressed_stream,
     )
+    result.compute_domain = domain
+    if expander is not None:
+        result.domain_stats.update(expander.stats())
+    return result
 
 
 @register_backend(
@@ -198,6 +254,7 @@ def run_ooc(
     storage="memory",
     parallel=True,
     level_stores=LEVEL_STORES,
+    compute_domains=("bitset", "wah"),
 )
 def run_threads(
     g: Graph, config: EnumerationConfig, on_clique: OnClique = None
@@ -216,6 +273,13 @@ def run_threads(
     backends run, so output, statistics, and operation counters are
     byte-identical to ``incore``.
 
+    In the ``"wah"`` compute domain each worker runs the
+    compressed-domain step over the shared WAH adjacency-row cache
+    instead of the released-GIL numpy kernels — the partitioning,
+    stealing, and level-barrier machinery is unchanged (work estimates
+    are identical by construction), and with the ``"wah"`` level store
+    the sub-lists workers exchange stay compressed end to end.
+
     Unlike ``multiprocess`` (which collects the full clique set before
     replaying it), cliques stream through ``on_clique`` at every level
     barrier: budgets trip at the same clique they would in-core, and a
@@ -230,9 +294,14 @@ def run_threads(
 
     store_factory, io, store_opts = _store_policy(config, "memory")
     _reject_unknown_options(config, store_opts | {"steal_granularity"})
+    store_name = config.level_store or "memory"
+    step, compressed_stream, wah_expander, domain = _resolve_step(
+        g, config, store_name, "threads", "pairs", generate_next_level
+    )
     expander = ThreadedExpander(
         resolve_worker_count(config.jobs),
         config.option("steal_granularity", DEFAULT_STEAL_GRANULARITY),
+        step=step,
     )
     with expander:
         result = run_level_loop(
@@ -243,9 +312,13 @@ def run_threads(
             store_factory=store_factory,
             backend="threads",
             io=io,
+            compressed_stream=compressed_stream,
         )
     result.n_workers = expander.n_workers
     result.transfers = expander.stolen_sublists
+    result.compute_domain = domain
+    if wah_expander is not None:
+        result.domain_stats.update(wah_expander.stats())
     return result
 
 
@@ -275,8 +348,6 @@ def run_multiprocess(
     bounds the returned output, not the work in flight.
     """
     from repro.parallel.mp_backend import enumerate_maximal_cliques_mp
-
-    from repro.engine.registry import get_backend
 
     _reject_unknown_options(config, {"rel_tolerance"})
     # workers keep their partitions in local memory; pretending to

@@ -18,13 +18,28 @@ from typing import Any
 
 from repro.errors import ConfigError, ParameterError
 
-__all__ = ["EnumerationConfig", "LEVEL_STORES", "resolve_for_backend"]
+__all__ = [
+    "EnumerationConfig",
+    "LEVEL_STORES",
+    "COMPUTE_DOMAINS",
+    "resolve_for_backend",
+    "resolve_compute_domain",
+]
 
 #: the level-storage substrates a config may request: ``"memory"``
 #: (:class:`~repro.engine.level_store.MemoryLevelStore`), ``"disk"``
 #: (:class:`~repro.core.out_of_core.DiskLevelStore`), ``"wah"``
 #: (:class:`~repro.engine.level_store.CompressedLevelStore`).
 LEVEL_STORES = ("memory", "disk", "wah")
+
+#: the word representations a generation step may run on:
+#: ``"bitset"`` (raw ``uint64`` word arrays, the historical hot path),
+#: ``"wah"`` (the compressed-domain kernels of
+#: :mod:`repro.core.compressed_domain`), or ``"auto"`` — resolve to
+#: ``"wah"`` when the effective level store is ``"wah"`` and the
+#: backend supports it (keeping the level compressed end to end),
+#: ``"bitset"`` otherwise.
+COMPUTE_DOMAINS = ("auto", "bitset", "wah")
 
 
 def _stable_key(value: Any):
@@ -99,6 +114,18 @@ class EnumerationConfig:
         honour rather than silently ignoring the policy.  Part of the
         config's equality/hash, so the service result cache can never
         conflate runs on different substrates.
+    compute_domain:
+        Word representation of the generation step: one of
+        :data:`COMPUTE_DOMAINS`.  ``"auto"`` (the default) follows the
+        effective level store — a ``"wah"`` store runs the
+        compressed-domain kernels on backends that support them, so the
+        level never round-trips through raw bit strings; anything else
+        runs the historical ``"bitset"`` word arrays.  An explicit
+        domain a backend did not advertise (``BackendInfo.
+        compute_domains``) is rejected by :func:`resolve_for_backend`.
+        Part of the config's equality/hash, so the service result cache
+        distinguishes the domains even though their outputs are
+        byte-identical by construction.
     options:
         Backend-specific knobs, e.g. ``{"directory": ..., "chunk_size":
         512}`` for ``"ooc"``, ``{"rel_tolerance": 0.1}`` for
@@ -117,6 +144,7 @@ class EnumerationConfig:
     max_candidate_bytes: int | None = None
     jobs: int | None = None
     level_store: str | None = None
+    compute_domain: str = "auto"
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -153,6 +181,12 @@ class EnumerationConfig:
                 f"(or None for the backend default), got "
                 f"{self.level_store!r}"
             )
+        if self.compute_domain not in COMPUTE_DOMAINS:
+            raise ParameterError(
+                f"compute_domain must be one of "
+                f"{', '.join(COMPUTE_DOMAINS)}, got "
+                f"{self.compute_domain!r}"
+            )
         # normalise to a plain dict so `options` is hashable-agnostic and
         # cheap to .get() from; the field stays read-only by convention.
         object.__setattr__(self, "options", dict(self.options))
@@ -182,6 +216,7 @@ class EnumerationConfig:
             self.max_candidate_bytes,
             self.jobs,
             self.level_store,
+            self.compute_domain,
             _stable_key(self.options),
         ))
 
@@ -222,6 +257,34 @@ def resolve_for_backend(
             f"{config.level_store!r}; supported: "
             f"{', '.join(info.level_stores) or '(backend-managed)'}"
         )
+    if (
+        config.compute_domain != "auto"
+        and config.compute_domain not in info.compute_domains
+    ):
+        raise ConfigError(
+            f"backend {config.backend!r} does not support compute "
+            f"domain {config.compute_domain!r}; supported: "
+            f"{', '.join(info.compute_domains)} (or 'auto')"
+        )
     if config.k_min < info.min_k_min:
         return replace(config, k_min=info.min_k_min)
     return config
+
+
+def resolve_compute_domain(
+    config: "EnumerationConfig", effective_store: str, info: Any
+) -> str:
+    """The concrete domain (``"bitset"`` / ``"wah"``) of one run.
+
+    ``"auto"`` follows the effective level store: a ``"wah"`` store runs
+    the compressed-domain kernels when the backend advertises them, so
+    the level never round-trips through raw bit strings; every other
+    store — and every backend without compressed kernels — resolves to
+    ``"bitset"``.  Explicit domains pass through (they were validated
+    against ``info.compute_domains`` by :func:`resolve_for_backend`).
+    """
+    if config.compute_domain != "auto":
+        return config.compute_domain
+    if effective_store == "wah" and "wah" in info.compute_domains:
+        return "wah"
+    return "bitset"

@@ -23,6 +23,7 @@ new substrate cannot drift from the algorithm.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 
 from repro.errors import BudgetExceeded
@@ -132,6 +133,24 @@ def _measure_store(
     )
 
 
+def _fold_store_stats(store: LevelStore, stats: dict) -> None:
+    """Accumulate a retired store's codec traffic into ``domain_stats``.
+
+    Only the compressed store carries the counters; other substrates
+    contribute nothing (their levels were never compressed, so nothing
+    was decompressed or avoided).
+    """
+    decompressed = getattr(store, "decompressed_bytes", None)
+    if decompressed is None:
+        return
+    stats["decompressed_bytes"] = (
+        stats.get("decompressed_bytes", 0) + decompressed
+    )
+    stats["decompressed_bytes_avoided"] = (
+        stats.get("decompressed_bytes_avoided", 0) + store.bypassed_bytes
+    )
+
+
 def run_level_loop(
     g: Graph,
     config: EnumerationConfig,
@@ -141,6 +160,7 @@ def run_level_loop(
     store_factory: Callable[[], LevelStore],
     backend: str,
     io: IOStats | None = None,
+    compressed_stream: bool = False,
 ) -> EnumerationResult:
     """Run the complete level-wise enumeration on one storage substrate.
 
@@ -150,6 +170,13 @@ def run_level_loop(
     ``completed`` flag.  Backends built on this loop inherit the paper's
     output guarantees — each maximal clique exactly once, non-decreasing
     size order, canonical order within a size, nothing above ``k_max``.
+
+    ``compressed_stream=True`` (the ``compute_domain="wah"`` +
+    ``level_store="wah"`` pairing) streams each level through the
+    store's ``stream_entries`` — compressed sub-lists flow to the step
+    and compressed children flow back, so the level never materialises
+    in raw word form.  The ``step`` must then accept and return
+    :class:`~repro.core.sublist.CompressedSubList` entries.
     """
     k_min = config.k_min  # k_max >= k_min is the config's own invariant
     counters = OpCounters()
@@ -163,6 +190,7 @@ def run_level_loop(
     level = k_min
 
     emit = make_emitter(result, config, on_clique, lambda: level)
+    t_level = time.perf_counter()
     k, seed = seed_level(
         g, k_min, counters, emit,
         emit_maximal_edges=config.k_max is None or config.k_max >= 2,
@@ -176,6 +204,7 @@ def run_level_loop(
         result.level_stats.append(
             _measure_store(k, store, counters.maximal_emitted, g.n)
         )
+        result.level_seconds.append(time.perf_counter() - t_level)
         counters.levels = k
 
         while len(store) and (config.k_max is None or k < config.k_max):
@@ -189,15 +218,22 @@ def run_level_loop(
                 )
             before = counters.maximal_emitted
             level = k + 1
+            t_level = time.perf_counter()
             next_store = store_factory()
             try:
-                for chunk in store.stream():
+                stream = (
+                    store.stream_entries()
+                    if compressed_stream
+                    else store.stream()
+                )
+                for chunk in stream:
                     for child in step(chunk, g, counters, emit):
                         next_store.append(child)
             except BaseException:
                 next_store.close()
                 raise
             store.close()
+            _fold_store_stats(store, result.domain_stats)
             store = next_store
             k += 1
             counters.levels = k
@@ -206,7 +242,9 @@ def run_level_loop(
                     k, store, counters.maximal_emitted - before, g.n
                 )
             )
+            result.level_seconds.append(time.perf_counter() - t_level)
         result.completed = not len(store)
     finally:
         store.close()
+        _fold_store_stats(store, result.domain_stats)
     return result

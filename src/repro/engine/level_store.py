@@ -171,9 +171,16 @@ class CompressedLevelStore(LevelStore):
     ``stream`` decompresses ``chunk_size`` sub-lists at a time, so at
     most one chunk of full-width bit strings is live while the
     generation step expands the level; everything not yet streamed stays
-    compressed.  Compressed-domain ``&``/``count``/``iter_indices`` on
-    the stored :class:`WahBitmap` payloads remain available to callers
-    that never need the expansion at all.
+    compressed.  ``stream_entries`` skips even that: it yields the
+    stored :class:`CompressedSubList` entries themselves, which is how
+    the compressed-domain generation step
+    (:class:`~repro.core.compressed_domain.CompressedExpander`,
+    ``compute_domain="wah"``) consumes a level with zero decompression.
+    Both share the single-pass contract.  The two counters
+    :attr:`decompressed_bytes` / :attr:`bypassed_bytes` record which
+    path each streamed byte took, feeding the run's
+    ``domain_stats["decompressed_bytes"]`` /
+    ``["decompressed_bytes_avoided"]`` telemetry.
 
     Parameters
     ----------
@@ -194,18 +201,36 @@ class CompressedLevelStore(LevelStore):
         self._candidate_bytes = 0
         self._uncompressed_bytes = 0
         self._streamed = False
+        #: raw sub-list bytes materialised by the decompressing stream().
+        self.decompressed_bytes = 0
+        #: raw-equivalent bytes that stayed compressed through
+        #: stream_entries() — the "decompressed bytes avoided".
+        self.bypassed_bytes = 0
 
-    def append(self, sl: CliqueSubList) -> None:
-        """Compress and store one sub-list."""
+    def append(self, sl: CliqueSubList | CompressedSubList) -> None:
+        """Store one sub-list, compressing unless it already is.
+
+        A :class:`CompressedSubList` (as produced by the
+        compressed-domain generation step) is stored as-is — no
+        re-encode; the WAH encoder is canonical, so the stored words
+        are identical either way.
+        """
         if self._streamed:
             raise LevelStoreError(
                 "append() after stream(): the level store is single-pass"
             )
-        entry = CompressedSubList.from_sublist(sl)
+        if isinstance(sl, CompressedSubList):
+            entry = sl
+            uncompressed = entry.uncompressed_nbytes(
+                INDEX_BYTES, POINTER_BYTES
+            )
+        else:
+            entry = CompressedSubList.from_sublist(sl)
+            uncompressed = sl.nbytes(INDEX_BYTES, POINTER_BYTES)
         self._entries.append(entry)
-        self._n_candidates += len(sl)
+        self._n_candidates += len(entry)
         self._candidate_bytes += entry.nbytes(INDEX_BYTES, POINTER_BYTES)
-        self._uncompressed_bytes += sl.nbytes(INDEX_BYTES, POINTER_BYTES)
+        self._uncompressed_bytes += uncompressed
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -253,7 +278,36 @@ class CompressedLevelStore(LevelStore):
     def _stream(self) -> Iterator[list[CliqueSubList]]:
         for start in range(0, len(self._entries), self.chunk_size):
             chunk = self._entries[start:start + self.chunk_size]
+            self.decompressed_bytes += sum(
+                entry.uncompressed_nbytes(INDEX_BYTES, POINTER_BYTES)
+                for entry in chunk
+            )
             yield [entry.to_sublist() for entry in chunk]
+
+    def stream_entries(self) -> Iterator[list[CompressedSubList]]:
+        """Yield the compressed entries themselves, never decompressing.
+
+        The zero-round-trip counterpart of :meth:`stream` for
+        compressed-domain consumers; shares the same single-pass
+        contract (one streaming pass total, whichever method starts
+        it).  Chunking follows ``chunk_size`` so the generation step's
+        chunk granularity matches the decompressing path.
+        """
+        if self._streamed:
+            raise LevelStoreError(
+                "stream() called twice on a single-pass level store"
+            )
+        self._streamed = True
+        return self._stream_entries()
+
+    def _stream_entries(self) -> Iterator[list[CompressedSubList]]:
+        for start in range(0, len(self._entries), self.chunk_size):
+            chunk = self._entries[start:start + self.chunk_size]
+            self.bypassed_bytes += sum(
+                entry.uncompressed_nbytes(INDEX_BYTES, POINTER_BYTES)
+                for entry in chunk
+            )
+            yield chunk
 
     def close(self) -> None:
         """Drop the compressed level."""

@@ -61,6 +61,13 @@ class BackendInfo:
         backend manages its own storage; the engine facade rejects an
         explicit ``level_store`` before dispatch.  ``storage`` remains
         the backend's *default* substrate.
+    compute_domains:
+        The concrete :data:`~repro.engine.config.COMPUTE_DOMAINS`
+        values (``"bitset"`` / ``"wah"``, never ``"auto"``) this
+        backend's generation step can run on.  Every backend supports
+        at least ``"bitset"``; an explicit ``config.compute_domain``
+        outside this tuple is rejected before dispatch by the shared
+        :func:`~repro.engine.config.resolve_for_backend`.
     """
 
     name: str
@@ -70,6 +77,7 @@ class BackendInfo:
     parallel: bool = False
     min_k_min: int = 1
     level_stores: tuple[str, ...] = ()
+    compute_domains: tuple[str, ...] = ("bitset",)
 
 
 _REGISTRY: dict[str, BackendInfo] = {}
@@ -84,6 +92,7 @@ def register_backend(
     parallel: bool = False,
     min_k_min: int = 1,
     level_stores: tuple[str, ...] = (),
+    compute_domains: tuple[str, ...] = ("bitset",),
     replace: bool = False,
 ):
     """Register an execution backend under ``name``.
@@ -114,6 +123,7 @@ def register_backend(
             parallel=parallel,
             min_k_min=min_k_min,
             level_stores=tuple(level_stores),
+            compute_domains=tuple(compute_domains),
         )
         return fn
 

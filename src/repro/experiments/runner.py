@@ -41,11 +41,14 @@ EXPERIMENTS = {
     "figure8": figure8.report,
     "figure9": figure9.report,
     "figure9_stores": figure9.report_stores,
+    "figure9_domains": figure9.report_domains,
     "ablations": ablations.report,
 }
 
 #: experiments whose report() accepts a `backend` keyword.
-BACKEND_AWARE = frozenset({"table1", "figure9", "figure9_stores"})
+BACKEND_AWARE = frozenset(
+    {"table1", "figure9", "figure9_stores", "figure9_domains"}
+)
 
 
 def _store_backends() -> list[str]:

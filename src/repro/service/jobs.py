@@ -190,6 +190,7 @@ class Job:
             "priority": self.spec.priority,
             "backend": self.spec.config.backend,
             "level_store": self.spec.config.level_store,
+            "compute_domain": self.spec.config.compute_domain,
             "cache_hit": self.cache_hit,
             "error": self.error,
             "queued_seconds": self.queued_seconds,
@@ -204,6 +205,11 @@ class Job:
             # payload, so `repro jobs` can show how a parallel job ran
             out["n_workers"] = self.result.n_workers
             out["transfers"] = self.result.transfers
+            # compressed-domain observability: the resolved domain the
+            # run actually executed on (a submitted "auto" resolves at
+            # dispatch) plus the codec/kernel telemetry
+            out["compute_domain"] = self.result.compute_domain
+            out["domain_stats"] = self.result.domain_stats
             out["n_cliques"] = (
                 self.sink_summary["cliques"]
                 if self.sink_summary

@@ -39,6 +39,7 @@ _CONFIG_FIELDS = (
     "max_candidate_bytes",
     "jobs",
     "level_store",
+    "compute_domain",
     "options",
 )
 

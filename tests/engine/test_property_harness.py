@@ -4,10 +4,13 @@
 this harness generalises it into a *property*: for any seeded graph
 from a family spanning the regimes the paper cares about (sparse
 background, dense blocks, bipartite-ish triangle-free, hub-and-spoke,
-planted modules), **every registered backend on every level store it
-advertises** must emit the byte-identical maximal clique sequence, the
-identical per-size counts, and — for every backend running the paper's
-generation step — the byte-identical merged operation counters.
+planted modules), **every registered backend on every level store and
+every compute domain it advertises** must emit the byte-identical
+maximal clique sequence, the identical per-size counts, and — for
+every backend running the paper's generation step — the byte-identical
+merged operation counters.  Backends with their own documented counter
+model (``bitscan``) are exempt from equality *with incore*, but their
+compute domains must still agree with each other, counter for counter.
 
 The matrix is read from the live registry
 (:func:`repro.engine.backend_table`) at each call, so a backend
@@ -95,7 +98,7 @@ def _by_size(cliques) -> dict[int, int]:
 def assert_cross_backend_equivalence(
     g: Graph, case: str = "", k_min: int = 1, k_max: int | None = None
 ) -> None:
-    """The harness core: run the full registry × level-store matrix.
+    """The harness core: the registry × level-store × domain matrix.
 
     Asserts, against the ``incore`` reference on the same window:
 
@@ -106,7 +109,14 @@ def assert_cross_backend_equivalence(
       backend's own accounting is self-consistent);
     * identical merged counter snapshots for every backend outside
       :data:`COUNTER_MODEL_EXEMPT` — the merge invariant that makes
-      per-worker :class:`~repro.core.counters.OpCounters` trustworthy.
+      per-worker :class:`~repro.core.counters.OpCounters` trustworthy;
+    * for exempt backends, identical counter snapshots *across their
+      own compute domains* — the representation may change the word
+      arithmetic, never the documented operation model.
+
+    The compute domains are read from ``BackendInfo.compute_domains``
+    just as the stores are read from ``level_stores``, so a backend
+    that advertises a new domain tomorrow is swept tonight.
     """
     ref = ENGINE.run(
         g, EnumerationConfig(backend="incore", k_min=k_min, k_max=k_max)
@@ -116,33 +126,46 @@ def assert_cross_backend_equivalence(
     for info in backend_table():
         stores = info.level_stores or (None,)
         for store in stores:
-            label = (
-                f"[{case}] backend={info.name} store={store} "
-                f"k_min={k_min} k_max={k_max}"
+            domain_snapshots: dict[str, dict] = {}
+            for domain in info.compute_domains or ("bitset",):
+                label = (
+                    f"[{case}] backend={info.name} store={store} "
+                    f"domain={domain} k_min={k_min} k_max={k_max}"
+                )
+                config = EnumerationConfig(
+                    backend=info.name,
+                    k_min=k_min,
+                    k_max=k_max,
+                    level_store=store,
+                    compute_domain=domain,
+                    jobs=2 if info.parallel else None,
+                )
+                res = ENGINE.run(g, config)
+                assert res.cliques == ref.cliques, (
+                    f"clique sequence diverged from incore: {label}"
+                )
+                assert _by_size(res.cliques) == ref_sizes, (
+                    f"per-size counts diverged: {label}"
+                )
+                assert res.completed == ref.completed, (
+                    f"completed flag diverged: {label}"
+                )
+                assert res.counters.maximal_emitted == len(res.cliques), (
+                    f"emission accounting inconsistent: {label}"
+                )
+                domain_snapshots[domain] = res.counters.snapshot()
+                if info.name not in COUNTER_MODEL_EXEMPT:
+                    assert res.counters.snapshot() == ref_snapshot, (
+                        f"merged counters diverged from incore: {label}"
+                    )
+            first_domain, first_snapshot = next(
+                iter(domain_snapshots.items())
             )
-            config = EnumerationConfig(
-                backend=info.name,
-                k_min=k_min,
-                k_max=k_max,
-                level_store=store,
-                jobs=2 if info.parallel else None,
-            )
-            res = ENGINE.run(g, config)
-            assert res.cliques == ref.cliques, (
-                f"clique sequence diverged from incore: {label}"
-            )
-            assert _by_size(res.cliques) == ref_sizes, (
-                f"per-size counts diverged: {label}"
-            )
-            assert res.completed == ref.completed, (
-                f"completed flag diverged: {label}"
-            )
-            assert res.counters.maximal_emitted == len(res.cliques), (
-                f"emission accounting inconsistent: {label}"
-            )
-            if info.name not in COUNTER_MODEL_EXEMPT:
-                assert res.counters.snapshot() == ref_snapshot, (
-                    f"merged counters diverged from incore: {label}"
+            for domain, snapshot in domain_snapshots.items():
+                assert snapshot == first_snapshot, (
+                    f"[{case}] backend={info.name} store={store}: "
+                    f"counters diverged between compute domains "
+                    f"{first_domain!r} and {domain!r}"
                 )
 
 
@@ -227,6 +250,43 @@ def test_harness_flags_a_defective_backend():
             )
     finally:
         unregister_backend("test-defective")
+
+
+def test_harness_sweeps_the_compute_domain_axis():
+    """A backend advertising a compute domain is tested *on* it.
+
+    Register a backend whose ``"wah"`` domain drops a clique while its
+    ``"bitset"`` domain is correct: only a harness that actually runs
+    the advertised domains can tell them apart — and the failure names
+    the domain.
+    """
+    from repro.engine.backends import run_incore
+
+    @register_backend(
+        "test-wahless",
+        description="correct bitset, defective wah (harness canary)",
+        level_stores=("memory",),
+        compute_domains=("bitset", "wah"),
+    )
+    def run_wahless(g, config, on_clique=None):
+        res = run_incore(
+            g,
+            replace(config, backend="incore", compute_domain="bitset"),
+            on_clique,
+        )
+        if config.compute_domain == "wah" and res.cliques:
+            res.cliques.pop()
+        res.backend = "test-wahless"
+        return res
+
+    try:
+        with pytest.raises(AssertionError, match="domain=wah"):
+            assert_cross_backend_equivalence(
+                make_family_graph("clique_planted", seed=3, n=24),
+                case="domain-canary",
+            )
+    finally:
+        unregister_backend("test-wahless")
 
 
 def test_harness_counter_check_catches_a_lying_merge():

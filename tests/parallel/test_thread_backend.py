@@ -168,8 +168,8 @@ class TestConcurrencyStress:
         from repro.core.clique_enumerator import generate_next_level
 
         class FakeExpander(tb.ThreadedExpander):
-            def __init__(self, n_workers, steal_granularity):
-                super().__init__(n_workers, steal_granularity)
+            def __init__(self, n_workers, steal_granularity, **kw):
+                super().__init__(n_workers, steal_granularity, **kw)
                 self.stolen_sublists = 7
 
             def step(self, sublists, g, counters, emit):

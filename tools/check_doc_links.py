@@ -1,0 +1,113 @@
+"""Link checker for the repo's Markdown docs.
+
+Walks the given Markdown files (and any ``docs/*.md`` they link to),
+extracts every ``[text](target)`` and reference-style link, and fails
+when a *local* target does not exist — a renamed module, a moved
+baseline file, or a deleted doc breaks CI instead of silently rotting.
+``#anchor`` fragments are checked against the target file's headings
+(GitHub slug rules: lowercase, spaces to dashes, punctuation dropped).
+
+External ``http(s)``/``mailto`` links are *not* fetched (CI must not
+depend on the network); they are only syntax-checked.
+
+Usage::
+
+    python tools/check_doc_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+import sys
+from pathlib import Path
+
+#: inline [text](target) — stops at the first unescaped closing paren.
+_INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: fenced code blocks are stripped first: examples are not links.
+_FENCE = re.compile(r"```.*?```", re.S)
+#: inline code spans likewise.
+_CODE = re.compile(r"`[^`]*`")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, strip formatting markers and
+    punctuation (keeping word chars incl. underscores), dash spaces."""
+    text = re.sub(r"[`*]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r"[ ]", "-", text)
+
+
+@functools.lru_cache(maxsize=None)
+def _headings(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    body = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    for line in body.splitlines():
+        m = re.match(r"#{1,6}\s+(.*)", line)
+        if not m:
+            continue
+        slug = _slugify(m.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    """All broken local links of one Markdown file."""
+    errors: list[str] = []
+    body = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    body = _CODE.sub("", body)
+    for target in _INLINE.findall(body):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in _headings(path):
+                errors.append(f"{path}: missing anchor {target!r}")
+            continue
+        rel, _, anchor = target.partition("#")
+        dest = (path.parent / rel).resolve()
+        if not dest.exists():
+            errors.append(f"{path}: broken link {target!r} -> {dest}")
+            continue
+        if anchor and dest.suffix == ".md":
+            if anchor not in _headings(dest):
+                errors.append(
+                    f"{path}: missing anchor {anchor!r} in {rel}"
+                )
+        try:
+            dest.relative_to(repo_root)
+        except ValueError:
+            errors.append(f"{path}: link escapes the repo: {target!r}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(
+            "usage: check_doc_links.py FILE.md [FILE.md ...]",
+            file=sys.stderr,
+        )
+        return 2
+    repo_root = Path(__file__).resolve().parent.parent
+    errors: list[str] = []
+    checked = 0
+    for arg in argv:
+        path = Path(arg)
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(path, repo_root))
+    if errors:
+        print("broken documentation links:", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(f"doc links ok across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
