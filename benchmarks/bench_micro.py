@@ -2,11 +2,15 @@
 
 These pin the performance characteristics the framework depends on: the
 bitmap primitives (one AND per common-neighbor derivation, one
-any-bit-exists per maximality test), the expression pipeline stages, and
-the k-clique seeding.
+any-bit-exists per maximality test), the WAH kernel layer (scalar
+per-word vs batched structure-of-arrays — the ratio the
+``kernel="numpy"`` policy exists to win), the expression pipeline
+stages, and the k-clique seeding.
 """
 
 from __future__ import annotations
+
+import random
 
 import numpy as np
 import pytest
@@ -14,6 +18,13 @@ import pytest
 from repro.bio.correlation import spearman_correlation
 from repro.bio.expression import ModuleSpec, synthetic_expression
 from repro.core import bitset as bs
+from repro.core import wah_kernels as wk
+from repro.core.compressed import (
+    WahBitmap,
+    WahScratch,
+    wah_and_count,
+    wah_and_into,
+)
 from repro.core.generators import erdos_renyi
 from repro.core.graph_ops import at_least_k_of_n
 from repro.core.kclique import enumerate_k_cliques
@@ -61,6 +72,71 @@ def bench_common_neighbors_chain(benchmark):
         return out
 
     benchmark(chain)
+
+
+@pytest.fixture(scope="module")
+def wah_batch():
+    """512 paired WAH streams over the paper's 12,422-bit universe."""
+    n = 12422
+    rng = random.Random(7)
+    ng = (n + wk.GROUP_BITS - 1) // wk.GROUP_BITS
+
+    def stream():
+        # clustered sparse indices: realistic fill/literal alternation
+        density = rng.choice([0.002, 0.01, 0.05])
+        return WahBitmap.from_indices(
+            n, [i for i in range(n) if rng.random() < density]
+        ).wah_words()
+
+    a = [stream() for _ in range(512)]
+    b = [stream() for _ in range(512)]
+    aw, ao = wk.concat_streams(a)
+    bw, bo = wk.concat_streams(b)
+    return a, b, aw, ao, bw, bo, ng
+
+
+def bench_wah_and_scalar(benchmark, wah_batch):
+    """512 compressed ANDs through the per-word Python kernel."""
+    a, b, _, _, _, _, ng = wah_batch
+    scratch = WahScratch()
+
+    def run():
+        for x, y in zip(a, b):
+            wah_and_into(x.tolist(), y.tolist(), ng, scratch)
+
+    benchmark(run)
+
+
+def bench_wah_and_batch(benchmark, wah_batch):
+    """The same 512 ANDs through one batched numpy kernel call."""
+    _, _, aw, ao, bw, bo, ng = wah_batch
+    benchmark(wk.batch_and, aw, ao, bw, bo, ng)
+
+
+def bench_wah_count_scalar(benchmark, wah_batch):
+    """512 compressed popcounts, per-word Python kernel."""
+    a, b, _, _, _, _, ng = wah_batch
+    scratch = WahScratch()
+
+    def run():
+        for x, y in zip(a, b):
+            wah_and_count(x.tolist(), y.tolist(), ng, scratch)
+
+    benchmark(run)
+
+
+def bench_wah_count_batch(benchmark, wah_batch):
+    """The same 512 popcounts through one batched kernel call."""
+    _, _, aw, ao, bw, bo, ng = wah_batch
+    benchmark(wk.batch_and_count, aw, ao, bw, bo, ng)
+
+
+def bench_wah_encode_batch(benchmark, wah_batch):
+    """Batch index→WAH encode of 512 decoded streams."""
+    _, _, aw, ao, _, _, ng = wah_batch
+    n = 12422
+    flat, offs = wk.batch_decode_indices(aw, ao, ng, n)
+    benchmark(wk.batch_encode_indices, flat, offs, n)
 
 
 def bench_spearman_1242_genes(benchmark):

@@ -49,6 +49,11 @@ TOLERANCE = 2.5
 #: tolerance absorbs the residual noise).
 REPEATS = 3
 
+#: levels whose *incore* median is below this are excluded from the
+#: per-level ratio gate: a fraction of a millisecond is scheduler noise
+#: on any host, and a ratio of two noise readings gates nothing.
+LEVEL_NOISE_FLOOR_SECONDS = 0.002
+
 #: the matrix: label -> config kwargs.  ``threads``/``multiprocess``
 #: run at 2 workers so the parallel plumbing (pool, stealing, pipes) is
 #: on the measured path whatever the host's core count.
@@ -90,15 +95,24 @@ def measure() -> dict:
     k_min = WORKLOAD["k_min"]
 
     medians: dict[str, float] = {}
+    level_medians: dict[str, list[float]] = {}
     digests: dict[str, str] = {}
     for label, kwargs in BACKENDS.items():
         config = EnumerationConfig(k_min=k_min, **kwargs)
         times = []
+        level_times: list[list[float]] = []
         for _ in range(REPEATS):
             t0 = time.perf_counter()
             result = engine.run(g, config)
             times.append(time.perf_counter() - t0)
+            level_times.append(list(result.level_seconds))
         medians[label] = statistics.median(times)
+        # element-wise median across the repeats — the per-level noise
+        # one slow run injects must not survive into the gated figure
+        level_medians[label] = [
+            statistics.median(run[i] for run in level_times)
+            for i in range(len(level_times[0]))
+        ]
         digests[label] = _clique_digest(result.cliques)
 
     reference = digests["incore"]
@@ -113,15 +127,38 @@ def measure() -> dict:
         label: round(median / medians["incore"], 3)
         for label, median in medians.items()
     }
+    # per-level ratios to the incore level medians: machine-independent
+    # like the totals, but localised — a regression confined to one
+    # level moves its own ratio even when faster levels mask it in the
+    # total.  Backends that do not report level timings (multiprocess
+    # folds its levels into worker round-trips) are skipped; levels
+    # under the noise floor gate nothing and are recorded as null.
+    incore_levels = level_medians["incore"]
+    level_ratios: dict[str, list[float | None]] = {}
+    for label, levels in level_medians.items():
+        if len(levels) != len(incore_levels):
+            continue
+        level_ratios[label] = [
+            round(mine / ref, 3)
+            if ref >= LEVEL_NOISE_FLOOR_SECONDS
+            else None
+            for mine, ref in zip(levels, incore_levels)
+        ]
     return {
         "workload": WORKLOAD,
         "repeats": REPEATS,
         "tolerance": TOLERANCE,
+        "level_noise_floor_seconds": LEVEL_NOISE_FLOOR_SECONDS,
         "clique_sha256": reference,
         "median_seconds": {
             label: round(m, 4) for label, m in medians.items()
         },
         "ratio_to_incore": ratios,
+        "level_median_seconds": {
+            label: [round(s, 5) for s in levels]
+            for label, levels in level_medians.items()
+        },
+        "level_ratio_to_incore": level_ratios,
     }
 
 
@@ -175,6 +212,38 @@ def main(argv: list[str] | None = None) -> int:
                 f"{base} x {TOLERANCE} = {allowed:.3f} "
                 f"(median {metrics['median_seconds'][label]}s)"
             )
+    base_levels = baseline.get("level_ratio_to_incore", {})
+    for label, measured_levels in metrics[
+        "level_ratio_to_incore"
+    ].items():
+        committed = base_levels.get(label)
+        if committed is None:
+            failures.append(
+                f"  {label}: no committed per-level ratios "
+                "(rerun --write to add them)"
+            )
+            continue
+        if len(committed) != len(measured_levels):
+            failures.append(
+                f"  {label}: level count drifted from "
+                f"{len(committed)} to {len(measured_levels)}"
+            )
+            continue
+        for level, (measured, base) in enumerate(
+            zip(measured_levels, committed)
+        ):
+            # either side under the noise floor (null) gates nothing:
+            # the floor is evaluated on the measuring machine, so a
+            # level can cross it between hosts without regressing
+            if measured is None or base is None:
+                continue
+            allowed = base * TOLERANCE
+            if measured > allowed:
+                failures.append(
+                    f"  {label} level[{level}]: per-level ratio "
+                    f"{measured} exceeds {base} x {TOLERANCE} = "
+                    f"{allowed:.3f}"
+                )
     if failures:
         print("speed baseline violations:", file=sys.stderr)
         print("\n".join(failures), file=sys.stderr)

@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli enumerate GRAPH [--backend NAME] [--jobs N]
                                   [--level-store NAME]
                                   [--compute-domain NAME]
+                                  [--kernel NAME]
                                   [--k-min K] [--k-max K] [--sink SPEC]
     python -m repro.cli engines
     python -m repro.cli maxclique GRAPH
@@ -38,6 +39,7 @@ from repro.core.maximum_clique import maximum_clique
 from repro.core.stats import summarize
 from repro.engine import (
     COMPUTE_DOMAINS,
+    KERNELS,
     LEVEL_STORES,
     EnumerationConfig,
     EnumerationEngine,
@@ -110,6 +112,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: auto — 'wah' level stores run the "
             "compressed-domain AND kernels, everything else raw "
             "bit strings)"
+        ),
+    )
+    p_enum.add_argument(
+        "--kernel",
+        default="auto",
+        choices=KERNELS,
+        metavar="NAME",
+        help=(
+            "WAH word-kernel implementation: %(choices)s (default: "
+            "auto — the batched numpy kernels wherever the backend "
+            "advertises them; output is byte-identical either way)"
         ),
     )
     p_enum.add_argument(
@@ -202,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="generation-step word representation (default: auto)",
     )
+    p_submit.add_argument(
+        "--kernel", default="auto", choices=KERNELS,
+        metavar="NAME",
+        help="WAH word-kernel implementation (default: auto)",
+    )
     p_submit.add_argument("--k-min", type=int, default=1)
     p_submit.add_argument("--k-max", type=int, default=None)
     p_submit.add_argument(
@@ -249,6 +267,7 @@ def _cmd_enumerate(args) -> int:
         jobs=args.jobs,
         level_store=args.level_store,
         compute_domain=args.compute_domain,
+        kernel=args.kernel,
     )
     spec = args.sink
     if args.count:
@@ -289,6 +308,7 @@ def _cmd_engines(args) -> int:
             info.storage,
             ",".join(info.level_stores) or "-",
             ",".join(info.compute_domains) or "-",
+            ",".join(info.kernels) or "-",
             "yes" if info.parallel else "no",
             info.description,
         )
@@ -297,12 +317,14 @@ def _cmd_engines(args) -> int:
     name_w = max(len(r[0]) for r in rows)
     stores_w = max(len("level stores"), max(len(r[2]) for r in rows))
     domains_w = max(len("domains"), max(len(r[3]) for r in rows))
+    kernels_w = max(len("kernels"), max(len(r[4]) for r in rows))
     print(f"{'backend':<{name_w}}  storage  "
           f"{'level stores':<{stores_w}}  {'domains':<{domains_w}}  "
-          f"parallel  description")
-    for name, storage, stores, domains, parallel, desc in rows:
+          f"{'kernels':<{kernels_w}}  parallel  description")
+    for name, storage, stores, domains, kernels, parallel, desc in rows:
         print(f"{name:<{name_w}}  {storage:<7}  {stores:<{stores_w}}  "
-              f"{domains:<{domains_w}}  {parallel:<8}  {desc}")
+              f"{domains:<{domains_w}}  {kernels:<{kernels_w}}  "
+              f"{parallel:<8}  {desc}")
     return 0
 
 
@@ -371,6 +393,7 @@ def _cmd_submit(args) -> int:
         jobs=args.jobs,
         level_store=args.level_store,
         compute_domain=args.compute_domain,
+        kernel=args.kernel,
     )
     with ServiceClient(_service_address(args)) as client:
         job_id = client.submit(

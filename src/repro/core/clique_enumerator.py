@@ -146,6 +146,13 @@ class EnumerationResult:
         compressed-domain kernels of
         :mod:`repro.core.compressed_domain`).  Always the resolved
         value — a config's ``"auto"`` never appears here.
+    kernel:
+        The resolved WAH kernel implementation of the run:
+        ``"python"`` (scalar per-pair kernels) or ``"numpy"`` (the
+        batched structure-of-arrays kernels of
+        :mod:`repro.core.wah_kernels`).  Like ``compute_domain``,
+        always the resolved value; for pure-bitset runs it records
+        what a WAH store/step of this run would have used.
     domain_stats:
         Compressed-domain telemetry, empty for pure bitset runs:
         ``decompressed_bytes`` (sub-list bytes materialised in raw form
@@ -175,6 +182,7 @@ class EnumerationResult:
     n_workers: int = 1
     transfers: int = 0
     compute_domain: str = "bitset"
+    kernel: str = "python"
     domain_stats: dict = field(default_factory=dict)
     level_seconds: list[float] = field(default_factory=list)
 

@@ -166,29 +166,40 @@ class WahBitmap:
 
     __slots__ = ("n", "_words", "_n_groups")
 
-    def __init__(self, n: int, words: list[int]):
+    def __init__(self, n: int, words):
         if n < 0:
             raise BitSetError(f"universe size must be non-negative, got {n}")
         self.n = n
         self._n_groups = (n + GROUP_BITS - 1) // GROUP_BITS
+        if isinstance(words, np.ndarray):
+            if words.dtype != np.uint32:
+                raise BitSetError(
+                    f"WAH word array must be uint32, got {words.dtype}"
+                )
+            # never freeze (or share mutable state with) a caller array
+            arr = words.copy() if words.flags.writeable else words
+        else:
+            try:
+                arr = np.asarray(words, dtype=np.uint32)
+            except (OverflowError, ValueError, TypeError):
+                for i, word in enumerate(words):
+                    if not 0 <= word < (1 << 32):
+                        raise BitSetError(
+                            f"WAH word {i} out of 32-bit range: {word!r}"
+                        ) from None
+                raise
         # Validate group coverage up front: a truncated or padded stream
         # must fail here with a precise message, not surface later as a
         # confusing group-count error from count() or a wrong __eq__.
-        covered = 0
-        for i, word in enumerate(words):
-            if not 0 <= word < (1 << 32):
-                raise BitSetError(
-                    f"WAH word {i} out of 32-bit range: {word!r}"
-                )
-            if _is_fill(word):
-                length = _fill_len(word)
-                if length == 0:
-                    raise BitSetError(
-                        f"WAH word {i} is a fill of zero run length"
-                    )
-                covered += length
-            else:
-                covered += 1
+        is_fill = (arr & np.uint32(_FILL_FLAG)) != 0
+        fill_len = (arr & np.uint32(_FILL_LEN_MASK)).astype(np.int64)
+        zero_fill = is_fill & (fill_len == 0)
+        if zero_fill.any():
+            raise BitSetError(
+                f"WAH word {int(zero_fill.argmax())} is a fill of "
+                f"zero run length"
+            )
+        covered = int(np.where(is_fill, fill_len, 1).sum())
         if covered != self._n_groups:
             raise BitSetError(
                 f"WAH stream covers {covered} group(s), expected "
@@ -198,8 +209,8 @@ class WahBitmap:
         # iteration, and __eq__ all go wrong (e.g. iter_indices would
         # yield vertex indices >= n).
         rem = n % GROUP_BITS
-        if rem and words:
-            last = words[-1]
+        if rem and arr.size:
+            last = int(arr[-1])
             padding_set = (
                 _fill_bit(last)
                 if _is_fill(last)
@@ -210,7 +221,26 @@ class WahBitmap:
                     f"WAH stream sets padding bits beyond the "
                     f"{n}-bit universe in its final group"
                 )
-        self._words = words
+        if arr.flags.writeable:
+            arr.setflags(write=False)
+        self._words = arr
+
+    @classmethod
+    def _trusted(cls, n: int, words: np.ndarray) -> "WahBitmap":
+        """Wrap an already-canonical ``uint32`` word array, unvalidated.
+
+        Internal fast path for streams produced by this module's own
+        encoders and by the :mod:`~repro.core.wah_kernels` batch codecs,
+        whose outputs are canonical by construction.  The array is
+        frozen in place; callers hand over ownership.
+        """
+        bm = object.__new__(cls)
+        bm.n = n
+        bm._n_groups = (n + GROUP_BITS - 1) // GROUP_BITS
+        if words.flags.writeable:
+            words.setflags(write=False)
+        bm._words = words
+        return bm
 
     # -- constructors ------------------------------------------------------
 
@@ -232,7 +262,9 @@ class WahBitmap:
         builder = _Builder()
         for v in vals.tolist():
             builder.add_group(int(v))
-        return cls(n, builder.finish())
+        return cls._trusted(
+            n, np.asarray(builder.finish(), dtype=np.uint32)
+        )
 
     @classmethod
     def from_indices(cls, n: int, indices: Iterable[int]) -> "WahBitmap":
@@ -278,7 +310,7 @@ class WahBitmap:
         """Decompress to a :class:`BitSet`."""
         if self._n_groups == 0:
             return BitSet.zeros(self.n)
-        reader = _GroupReader(self._words)
+        reader = _GroupReader(self._words.tolist())
         vals = np.fromiter(
             (reader.next_group() for _ in range(self._n_groups)),
             dtype=np.int64,
@@ -298,9 +330,12 @@ class WahBitmap:
 
         Inverse of :meth:`from_words`: the returned array is the
         :class:`~repro.core.bitset.BitSet` word layout the enumeration
-        hot loops operate on.
+        hot loops operate on.  Like :meth:`wah_words`, the array is
+        returned read-only; copy it before mutating.
         """
-        return self.to_bitset().words
+        words = self.to_bitset().words
+        words.setflags(write=False)
+        return words
 
     def iter_indices(self) -> Iterator[int]:
         """Yield the set-bit indices, ascending, without decompressing.
@@ -312,7 +347,7 @@ class WahBitmap:
         on the compressed data" remark asks for.
         """
         base = 0
-        for word in self._words:
+        for word in self._words.tolist():
             if _is_fill(word):
                 span = _fill_len(word) * GROUP_BITS
                 if _fill_bit(word):
@@ -344,7 +379,8 @@ class WahBitmap:
         so the cost is proportional to the *compressed* sizes, not ``n``.
         """
         self._check(other)
-        ra, rb = _GroupReader(self._words), _GroupReader(other._words)
+        ra = _GroupReader(self._words.tolist())
+        rb = _GroupReader(other._words.tolist())
         builder = _Builder()
         remaining = self._n_groups
         while remaining:
@@ -364,7 +400,9 @@ class WahBitmap:
                 rb.pending_fill -= bulk
                 remaining -= bulk
             remaining -= 1
-        return WahBitmap(self.n, builder.finish())
+        return WahBitmap._trusted(
+            self.n, np.asarray(builder.finish(), dtype=np.uint32)
+        )
 
     def __and__(self, other: "WahBitmap") -> "WahBitmap":
         return self._binary(other, lambda a, b: a & b)
@@ -396,7 +434,8 @@ class WahBitmap:
         False
         """
         self._check(other)
-        ra, rb = _GroupReader(self._words), _GroupReader(other._words)
+        ra = _GroupReader(self._words.tolist())
+        rb = _GroupReader(other._words.tolist())
         remaining = self._n_groups
         while remaining:
             ga = ra.next_group()
@@ -415,7 +454,7 @@ class WahBitmap:
 
     def any(self) -> bool:
         """True when any bit is set, without decompression."""
-        for w in self._words:
+        for w in self._words.tolist():
             if _is_fill(w):
                 if _fill_bit(w):
                     return True
@@ -426,7 +465,7 @@ class WahBitmap:
     def count(self) -> int:
         """Population count, computed on the compressed form."""
         total = 0
-        for w in self._words:
+        for w in self._words.tolist():
             if _is_fill(w):
                 if _fill_bit(w):
                     total += _fill_len(w) * GROUP_BITS
@@ -438,14 +477,16 @@ class WahBitmap:
 
     # -- storage metrics ----------------------------------------------------
 
-    def wah_words(self) -> list[int]:
+    def wah_words(self) -> np.ndarray:
         """The raw compressed WAH words, for the word-array kernels.
 
-        Returns the internal canonical word list *without copying* —
-        treat it as read-only.  This is the representation
-        :func:`wah_and_into` / :func:`wah_and_any` /
-        :func:`wah_and_count` operate on, paired with the bitmap's
-        group count ``(n + 30) // 31``.
+        Returns the internal canonical word array — a *read-only*
+        ``np.uint32`` ndarray, shared without copying (``.tolist()`` it
+        for the pure-Python kernels' fastest indexing).  This is the
+        representation :func:`wah_and_into` / :func:`wah_and_any` /
+        :func:`wah_and_count` and the :mod:`~repro.core.wah_kernels`
+        batch kernels operate on, paired with the bitmap's group count
+        ``(n + 30) // 31``.
 
         Examples
         --------
@@ -473,7 +514,7 @@ class WahBitmap:
         raw = 4 * self._n_groups
         if raw == 0:
             return 1.0
-        if not self._words:
+        if self._words.size == 0:
             return float("inf")
         return raw / self.nbytes()
 
@@ -482,10 +523,12 @@ class WahBitmap:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, WahBitmap):
             return NotImplemented
-        return self.n == other.n and self._words == other._words
+        return self.n == other.n and np.array_equal(
+            self._words, other._words
+        )
 
     def __hash__(self) -> int:
-        return hash((self.n, tuple(self._words)))
+        return hash((self.n, self._words.tobytes()))
 
     def __repr__(self) -> str:
         return (
@@ -583,9 +626,13 @@ def wah_and_into(
     >>> out = wah_and_into(a.wah_words(), b.wah_words(), n_groups)
     >>> sorted(WahBitmap(10_000, out).iter_indices())
     [5]
-    >>> out == (a & b).wah_words()   # canonical == encoder output
+    >>> out == (a & b).wah_words().tolist()   # canonical == encoder
     True
     """
+    if isinstance(a, np.ndarray):
+        a = a.tolist()
+    if isinstance(b, np.ndarray):
+        b = b.tolist()
     if scratch is None:
         out: list[int] = []
     else:
@@ -681,6 +728,10 @@ def wah_and_any(
     ... )
     False
     """
+    if isinstance(a, np.ndarray):
+        a = a.tolist()
+    if isinstance(b, np.ndarray):
+        b = b.tolist()
     ia = ib = 0
     a_pend = b_pend = 0
     a_val = b_val = 0
@@ -735,6 +786,10 @@ def wah_and_count(
     >>> len([i for i in range(200) if i % 6 == 0])
     34
     """
+    if isinstance(a, np.ndarray):
+        a = a.tolist()
+    if isinstance(b, np.ndarray):
+        b = b.tolist()
     ia = ib = 0
     a_pend = b_pend = 0
     a_val = b_val = 0
@@ -789,6 +844,8 @@ def wah_indices_above(words: Sequence[int], lo: int) -> Iterator[int]:
     >>> list(wah_indices_above(bm.wah_words(), 800))
     [801, 9000]
     """
+    if isinstance(words, np.ndarray):
+        words = words.tolist()
     base = 0
     floor = lo + 1
     for w in words:
@@ -826,7 +883,9 @@ def wah_from_sorted_indices(n: int, indices: Sequence[int]) -> list[int]:
     >>> words = wah_from_sorted_indices(10_000, [5, 310, 311])
     >>> sorted(WahBitmap(10_000, words).iter_indices())
     [5, 310, 311]
-    >>> words == WahBitmap.from_indices(10_000, [5, 310, 311]).wah_words()
+    >>> words == WahBitmap.from_indices(
+    ...     10_000, [5, 310, 311]
+    ... ).wah_words().tolist()
     True
     """
     n_groups = (n + GROUP_BITS - 1) // GROUP_BITS

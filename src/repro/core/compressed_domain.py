@@ -38,10 +38,24 @@ backend keeps its documented counter model:
     partner scan walks the compressed words with fill-run skipping
     instead of visiting all ``n`` bits.
 
+Each step model exists in two *kernel* implementations selected by the
+``kernel`` parameter: ``"python"`` runs the per-pair loops over the
+scalar kernels in :mod:`repro.core.compressed`, while ``"numpy"`` lifts
+whole level chunks into the structure-of-arrays word layout of
+:mod:`repro.core.wah_kernels` and replaces the inner loops with batched
+adjacency probes, one vectorised ``batch_and`` per parent group, and one
+``batch_and_any`` sweep per chunk of generated cliques.  The two kernels
+are *byte-equivalent*: identical emitted cliques in identical order,
+identical children, and identical :class:`~repro.core.counters.
+OpCounters` — the counter model charges algorithmic operations, not
+loop iterations, so bulk charging a batch equals charging its pairs one
+by one.  Only the :meth:`CompressedExpander.stats` telemetry may differ
+(the python kernels early-exit scans the batched kernels run in full).
+
 Thread safety: one expander serves one run, but its :meth:`step` may be
 called concurrently by the ``threads`` backend's workers — the WAH
-adjacency-row cache is shared under a lock, and each worker thread gets
-its own :class:`~repro.core.compressed.WahScratch`.
+adjacency-row caches are shared under a lock, and each worker thread
+gets its own :class:`~repro.core.compressed.WahScratch`.
 """
 
 from __future__ import annotations
@@ -53,6 +67,7 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.core.bitset import WORD_BITS
+from repro.core.clique_enumerator import PAIR_BATCH, _triu_pairs
 from repro.core.compressed import (
     WahBitmap,
     WahScratch,
@@ -63,12 +78,34 @@ from repro.core.compressed import (
 )
 from repro.core.counters import OpCounters
 from repro.core.graph import Graph
-from repro.core.sublist import CliqueSubList, CompressedSubList
+from repro.core.sublist import (
+    CliqueSubList,
+    CompressedLevelBatch,
+    CompressedSubList,
+)
+from repro.core.wah_kernels import (
+    batch_and,
+    batch_and_any,
+    batch_decode_indices,
+    batch_decode_words,
+    batch_encode_indices,
+    batch_encode_words,
+    batch_indices_above,
+    concat_streams,
+    take_streams,
+)
 
-__all__ = ["CompressedExpander", "STEP_MODELS"]
+__all__ = ["CompressedExpander", "STEP_MODELS", "STEP_KERNELS"]
 
 #: the two generation-step counter models an expander can mirror.
 STEP_MODELS = ("pairs", "bitscan")
+
+#: the two byte-equivalent kernel implementations of each model.
+STEP_KERNELS = ("python", "numpy")
+
+#: bitscan partner scans decode a (parents, universe) bit matrix; cap
+#: parents per batch so that transient stays bounded (~32 MB of uint32).
+_BITSCAN_BITS_BUDGET = 8_000_000
 
 
 class CompressedExpander:
@@ -95,6 +132,14 @@ class CompressedExpander:
         :class:`~repro.core.sublist.CliqueSubList` for the ``memory`` /
         ``disk`` stores; the kernels still perform the derivations and
         maximality tests on compressed operands.
+    kernel:
+        ``"python"`` (the scalar per-pair kernels) or ``"numpy"`` (the
+        batched :mod:`repro.core.wah_kernels` structure-of-arrays path).
+        Byte-equivalent outputs and counters; see the module docstring.
+        The numpy kernels additionally accept a whole
+        :class:`~repro.core.sublist.CompressedLevelBatch` as the
+        ``sublists`` argument of :meth:`step` and then return one, so
+        batch-streaming stores never materialise per-entry objects.
     """
 
     def __init__(
@@ -102,21 +147,37 @@ class CompressedExpander:
         g: Graph,
         model: str = "pairs",
         emit_compressed: bool = False,
+        kernel: str = "python",
     ):
         if model not in STEP_MODELS:
             raise ParameterError(
                 f"step model must be one of {', '.join(STEP_MODELS)}, "
                 f"got {model!r}"
             )
+        if kernel not in STEP_KERNELS:
+            raise ParameterError(
+                f"step kernel must be one of {', '.join(STEP_KERNELS)}, "
+                f"got {kernel!r}"
+            )
         self._g = g
         self._adj = g.adj
         self._model = model
         self._emit_compressed = emit_compressed
+        self.kernel = kernel
         #: bit universe of every CN string / tail bitmap of this graph —
         #: the full 64-bit word span, matching CompressedSubList.
         self._universe = WORD_BITS * int(g.adj.shape[1]) if g.n else 0
         self._n_groups = (self._universe + 30) // 31
         self._rows: list[list[int] | None] = [None] * g.n
+        #: numpy-kernel adjacency cache: an SoA ``(words, offsets,
+        #: slot)`` triple where ``slot[v]`` is row ``v``'s stream id
+        #: (-1 while uncached).  Replaced atomically as a whole tuple,
+        #: so lock-free readers always see a consistent snapshot.
+        self._np_cache: tuple[np.ndarray, np.ndarray, np.ndarray] = (
+            np.empty(0, dtype=np.uint32),
+            np.zeros(1, dtype=np.int64),
+            np.full(g.n, -1, dtype=np.int64),
+        )
         self._rows_compressed = 0
         self._scratches: list[WahScratch] = []
         self._local = threading.local()
@@ -128,13 +189,44 @@ class CompressedExpander:
         """The WAH words of vertex ``v``'s adjacency row (cached)."""
         row = self._rows[v]
         if row is None:
-            words = WahBitmap.from_words(self._adj[v]).wah_words()
+            words = WahBitmap.from_words(self._adj[v]).wah_words().tolist()
             with self._lock:
                 if self._rows[v] is None:
                     self._rows[v] = words
                     self._rows_compressed += 1
                 row = self._rows[v]
         return row
+
+    def _np_rows_for(
+        self, verts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """An SoA snapshot of the adjacency-row cache covering ``verts``.
+
+        Returns ``(words, offsets, slot)``; rows not yet cached are
+        batch-encoded under the lock first.  Snapshots are append-only,
+        so a slot id stays valid in every later snapshot.
+        """
+        words, offsets, slot = self._np_cache
+        verts = np.unique(verts)
+        missing = verts[slot[verts] < 0]
+        if missing.size:
+            with self._lock:
+                words, offsets, slot = self._np_cache
+                missing = missing[slot[missing] < 0]
+                if missing.size:
+                    new_w, new_o = batch_encode_words(
+                        self._adj[missing], self._universe
+                    )
+                    base = offsets.size - 1
+                    offsets = np.concatenate(
+                        (offsets, new_o[1:] + offsets[-1])
+                    )
+                    words = np.concatenate((words, new_w))
+                    slot = slot.copy()
+                    slot[missing] = base + np.arange(missing.size)
+                    self._np_cache = (words, offsets, slot)
+                    self._rows_compressed += int(missing.size)
+        return words, offsets, slot
 
     def _scratch(self) -> WahScratch:
         """This thread's kernel workspace (created on first use)."""
@@ -175,6 +267,23 @@ class CompressedExpander:
         Matches the engine's ``GenerationStep`` signature; ``g`` must be
         the graph the expander was built for.
         """
+        if self.kernel == "numpy":
+            if self._model == "pairs":
+                return self._step_pairs_np(sublists, counters, emit)
+            return self._step_bitscan_np(sublists, counters, emit)
+        if isinstance(sublists, CompressedLevelBatch):
+            # the python kernels work per entry; round-trip through the
+            # entry form so batch-streaming stores can still select them
+            # (requires emit_compressed — a batch is a compressed level)
+            entries = sublists.to_entries()
+            if self._model == "pairs":
+                children = self._step_pairs(entries, counters, emit)
+            else:
+                children = self._step_bitscan(entries, counters, emit)
+            batch = CompressedLevelBatch.from_entries(children)
+            if not children:
+                batch = CompressedLevelBatch.empty(self._universe)
+            return batch
         if self._model == "pairs":
             return self._step_pairs(sublists, counters, emit)
         return self._step_bitscan(sublists, counters, emit)
@@ -186,7 +295,11 @@ class CompressedExpander:
         lazily by the caller only when the sub-list produces children.
         """
         if isinstance(sl, CompressedSubList):
-            return list(sl.tails.iter_indices()), sl.cn.wah_words(), None
+            return (
+                list(sl.tails.iter_indices()),
+                sl.cn.wah_words().tolist(),
+                None,
+            )
         return sl.tails.tolist(), None, sl.cn_words
 
     def _child(
@@ -244,7 +357,9 @@ class CompressedExpander:
                     continue
                 counters.bit_and_ops += 1  # child CN derivation
                 if cn_wah is None:
-                    cn_wah = WahBitmap.from_words(cn_words).wah_words()
+                    cn_wah = WahBitmap.from_words(
+                        cn_words
+                    ).wah_words().tolist()
                 child_cn = wah_and_into(
                     cn_wah, self._row_words(v), n_groups, scratch
                 )
@@ -270,6 +385,348 @@ class CompressedExpander:
                     )
         return out
 
+    # -- the numpy (structure-of-arrays) kernels -----------------------------
+
+    def _np_load(self, sublists):
+        """Normalise one level chunk into SoA form for the batch kernels.
+
+        Accepts a list of :class:`CliqueSubList`, a list of
+        :class:`CompressedSubList`, or a :class:`CompressedLevelBatch`,
+        and returns ``(prefixes, tails, cn_words, cn_offsets, kind)``
+        where ``tails`` holds one ascending ``int64`` index array per
+        sub-list and ``kind`` names the input form (``"raw"`` /
+        ``"entries"`` / ``"batch"``) so children can be materialised to
+        match.  Sub-lists with fewer than two tails are dropped here:
+        neither step model can derive anything from them.
+        """
+        ng, universe = self._n_groups, self._universe
+        if isinstance(sublists, CompressedLevelBatch):
+            tw, to = sublists.tails_words, sublists.tails_offsets
+            cw, co = sublists.cn_words, sublists.cn_offsets
+            prefixes = list(sublists.prefixes)
+            keep = np.flatnonzero(sublists.n_tails >= 2)
+            filtered = keep.size < len(prefixes)
+            if filtered:
+                cw, co = take_streams(cw, co, keep)
+                prefixes = [prefixes[i] for i in keep.tolist()]
+            if sublists.tails_idx is not None:
+                # the producing step cached its decoded tails — slice
+                # the kept streams straight out of the cache
+                flat, offs = sublists.tails_idx
+                tails = [
+                    flat[offs[i]:offs[i + 1]] for i in keep.tolist()
+                ]
+            else:
+                if filtered:
+                    tw, to = take_streams(tw, to, keep)
+                flat, offs = batch_decode_indices(tw, to, ng, universe)
+                tails = [
+                    flat[offs[i]:offs[i + 1]]
+                    for i in range(len(prefixes))
+                ]
+            return prefixes, tails, cw, co, "batch"
+        sublists = [sl for sl in sublists if len(sl) >= 2]
+        if not sublists:
+            return (
+                [],
+                [],
+                np.empty(0, dtype=np.uint32),
+                np.zeros(1, dtype=np.int64),
+                "raw",
+            )
+        if isinstance(sublists[0], CompressedSubList):
+            tw, to = concat_streams(
+                [e.tails.wah_words() for e in sublists]
+            )
+            flat, offs = batch_decode_indices(tw, to, ng, universe)
+            tails = [
+                flat[offs[i]:offs[i + 1]] for i in range(len(sublists))
+            ]
+            cw, co = concat_streams([e.cn.wah_words() for e in sublists])
+            return [e.prefix for e in sublists], tails, cw, co, "entries"
+        cw, co = batch_encode_words(
+            np.stack([sl.cn_words for sl in sublists]), universe
+        )
+        return (
+            [sl.prefix for sl in sublists],
+            [sl.tails for sl in sublists],
+            cw,
+            co,
+            "raw",
+        )
+
+    def _np_children(self, kind, out_prefixes, out_cands, parts):
+        """Materialise retained children in the form matching ``kind``.
+
+        ``parts`` holds per-batch SoA fragments of the kept child CN
+        streams, in emission order; ``out_cands`` the matching ascending
+        tail-index arrays.
+        """
+        universe, ng = self._universe, self._n_groups
+        if not out_prefixes:
+            return (
+                CompressedLevelBatch.empty(universe)
+                if kind == "batch"
+                else []
+            )
+        words = np.concatenate([w for w, _ in parts])
+        lens = np.concatenate([np.diff(o) for _, o in parts])
+        offsets = np.zeros(lens.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        if kind == "raw":
+            mats = batch_decode_words(words, offsets, ng, universe)
+            return [
+                CliqueSubList(
+                    prefix=out_prefixes[i],
+                    tails=out_cands[i],
+                    cn_words=mats[i],
+                )
+                for i in range(len(out_prefixes))
+            ]
+        counts = np.fromiter(
+            (c.size for c in out_cands),
+            dtype=np.int64,
+            count=len(out_cands),
+        )
+        idx_offsets = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=idx_offsets[1:])
+        flat_cands = np.concatenate(out_cands)
+        tw, to = batch_encode_indices(flat_cands, idx_offsets, universe)
+        if kind == "batch":
+            return CompressedLevelBatch(
+                prefixes=tuple(out_prefixes),
+                universe=universe,
+                n_tails=counts,
+                tails_words=tw,
+                tails_offsets=to,
+                cn_words=words,
+                cn_offsets=offsets,
+                tails_idx=(flat_cands, idx_offsets),
+            )
+        return [
+            CompressedSubList(
+                prefix=out_prefixes[i],
+                n_tails=int(counts[i]),
+                tails=WahBitmap._trusted(universe, tw[to[i]:to[i + 1]]),
+                cn=WahBitmap._trusted(
+                    universe, words[offsets[i]:offsets[i + 1]]
+                ),
+            )
+            for i in range(len(out_prefixes))
+        ]
+
+    def _step_pairs_np(self, sublists, counters, emit):
+        """The tail-list model on the batch kernels.
+
+        Mirrors :meth:`_step_pairs` (and the in-core bitset step's
+        ``PAIR_BATCH`` charging structure): counters, emitted cliques,
+        and children are byte-identical to the python kernel's.
+        """
+        prefixes, tails, cn_w, cn_o, kind = self._np_load(sublists)
+        scratch = self._scratch()
+        out_prefixes: list[tuple[int, ...]] = []
+        out_cands: list[np.ndarray] = []
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        n_lists = len(prefixes)
+        start = 0
+        while start < n_lists:
+            end, budget = start, 0
+            while end < n_lists:
+                t = int(tails[end].size)
+                pairs = t * (t - 1) // 2
+                if end > start and budget + pairs > PAIR_BATCH:
+                    break
+                budget += pairs
+                end += 1
+            self._pairs_batch_np(
+                start, end, prefixes, tails, cn_w, cn_o,
+                counters, emit, scratch, out_prefixes, out_cands, parts,
+            )
+            start = end
+        return self._np_children(kind, out_prefixes, out_cands, parts)
+
+    def _pairs_batch_np(
+        self, lo, hi, prefixes, tails, cn_w, cn_o,
+        counters, emit, scratch, out_prefixes, out_cands, parts,
+    ):
+        """Expand sub-lists ``[lo, hi)`` as one vectorised pair batch."""
+        ng = self._n_groups
+        vi_parts, vj_parts, sid_parts = [], [], []
+        for s in range(lo, hi):
+            iu, ju = _triu_pairs(int(tails[s].size))
+            vi_parts.append(tails[s][iu])
+            vj_parts.append(tails[s][ju])
+            sid_parts.append(np.full(iu.size, s, dtype=np.int64))
+        all_vi = np.concatenate(vi_parts)
+        all_vj = np.concatenate(vj_parts)
+        all_sid = np.concatenate(sid_parts)
+        counters.pair_checks += int(all_vi.size)
+        if not all_vi.size:
+            return
+        adjacent = (
+            self._adj[all_vi, all_vj >> 6]
+            >> (all_vj & 63).astype(np.uint64)
+        ) & np.uint64(1)
+        mask = adjacent.astype(bool)
+        if not mask.any():
+            return
+        pvi, pvj, psid = all_vi[mask], all_vj[mask], all_sid[mask]
+        n_pairs = int(pvi.size)
+        counters.cliques_generated += n_pairs
+        counters.bit_and_ops += n_pairs
+        counters.bit_exist_checks += n_pairs
+        # parent groups: one child-CN derivation per distinct (sl, vi)
+        boundary = np.empty(n_pairs, dtype=bool)
+        boundary[0] = True
+        np.logical_or(
+            psid[1:] != psid[:-1], pvi[1:] != pvi[:-1], out=boundary[1:]
+        )
+        starts = np.flatnonzero(boundary)
+        group_of = np.cumsum(boundary) - 1
+        n_groups_here = int(starts.size)
+        counters.bit_and_ops += n_groups_here
+        gvi, gsid = pvi[starts], psid[starts]
+        rw, ro, slot = self._np_rows_for(np.concatenate((gvi, pvj)))
+        aw, ao = take_streams(cn_w, cn_o, gsid)
+        bw, bo = take_streams(rw, ro, slot[gvi])
+        chw, cho = batch_and(aw, ao, bw, bo, ng)
+        scratch.and_ops += n_groups_here
+        scratch.word_ops += int(ao[-1] + bo[-1] + cho[-1])
+        # BitOneExists(child_cn & adj[vj]) for every generated clique
+        taw, tao = take_streams(chw, cho, group_of)
+        tbw, tbo = take_streams(rw, ro, slot[pvj])
+        nonmax = batch_and_any(taw, tao, tbw, tbo, ng)
+        scratch.and_ops += n_pairs
+        scratch.word_ops += int(tao[-1] + tbo[-1])
+        n_nonmax = np.add.reduceat(nonmax.astype(np.int64), starts)
+        ends = np.append(starts[1:], n_pairs)
+        pvj_l, nonmax_l = pvj.tolist(), nonmax.tolist()
+        starts_l, ends_l = starts.tolist(), ends.tolist()
+        kept: list[int] = []
+        for gi in range(n_groups_here):
+            s, e = starts_l[gi], ends_l[gi]
+            nm = int(n_nonmax[gi])
+            size = e - s
+            if nm == size and nm <= 1:
+                continue
+            child_prefix = prefixes[int(gsid[gi])] + (int(gvi[gi]),)
+            if nm < size:
+                for idx in range(s, e):
+                    if not nonmax_l[idx]:
+                        counters.maximal_emitted += 1
+                        emit(child_prefix + (pvj_l[idx],))
+            if nm > 1:
+                counters.sublists_created += 1
+                kept.append(gi)
+                out_prefixes.append(child_prefix)
+                out_cands.append(pvj[s:e][nonmax[s:e]])
+        if kept:
+            parts.append(
+                take_streams(chw, cho, np.asarray(kept, dtype=np.int64))
+            )
+
+    def _step_bitscan_np(self, sublists, counters, emit):
+        """The bit-scan model on the batch kernels.
+
+        Mirrors :meth:`_step_bitscan` — including the documented
+        full-``n`` ``bits_scanned`` cost accounting — with the partner
+        scan running as one ``batch_indices_above`` per parent chunk.
+        """
+        prefixes, tails, cn_w, cn_o, kind = self._np_load(sublists)
+        scratch = self._scratch()
+        out_prefixes: list[tuple[int, ...]] = []
+        out_cands: list[np.ndarray] = []
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        n_lists = len(prefixes)
+        cap = max(64, _BITSCAN_BITS_BUDGET // max(self._universe, 64))
+        start = 0
+        while start < n_lists:
+            end, n_parents = start, 0
+            while end < n_lists:
+                p = int(tails[end].size) - 1
+                if end > start and n_parents + p > cap:
+                    break
+                n_parents += p
+                end += 1
+            self._bitscan_batch_np(
+                start, end, prefixes, tails, cn_w, cn_o,
+                counters, emit, scratch, out_prefixes, out_cands, parts,
+            )
+            start = end
+        return self._np_children(kind, out_prefixes, out_cands, parts)
+
+    def _bitscan_batch_np(
+        self, lo, hi, prefixes, tails, cn_w, cn_o,
+        counters, emit, scratch, out_prefixes, out_cands, parts,
+    ):
+        """Expand sub-lists ``[lo, hi)`` as one vectorised parent batch."""
+        ng, universe = self._n_groups, self._universe
+        psid = np.concatenate(
+            [
+                np.full(tails[s].size - 1, s, dtype=np.int64)
+                for s in range(lo, hi)
+            ]
+        )
+        pvi = np.concatenate([tails[s][:-1] for s in range(lo, hi)])
+        n_parents = int(pvi.size)
+        if not n_parents:
+            return
+        # one child-CN AND and one full-n scan charged per parent,
+        # whatever representation runs it — the documented cost model
+        counters.bit_and_ops += n_parents
+        counters.extra["bits_scanned"] = (
+            counters.extra.get("bits_scanned", 0) + self._g.n * n_parents
+        )
+        rw, ro, slot = self._np_rows_for(pvi)
+        aw, ao = take_streams(cn_w, cn_o, psid)
+        bw, bo = take_streams(rw, ro, slot[pvi])
+        chw, cho = batch_and(aw, ao, bw, bo, ng)
+        scratch.and_ops += n_parents
+        scratch.word_ops += int(ao[-1] + bo[-1] + cho[-1])
+        flat_p, p_off = batch_indices_above(chw, cho, ng, universe, pvi)
+        n_partners = int(flat_p.size)
+        if not n_partners:
+            return
+        counters.cliques_generated += n_partners
+        counters.bit_and_ops += n_partners
+        counters.bit_exist_checks += n_partners
+        parent_of = np.repeat(
+            np.arange(n_parents, dtype=np.int64), np.diff(p_off)
+        )
+        rw, ro, slot = self._np_rows_for(flat_p)
+        taw, tao = take_streams(chw, cho, parent_of)
+        tbw, tbo = take_streams(rw, ro, slot[flat_p])
+        nonmax = batch_and_any(taw, tao, tbw, tbo, ng)
+        scratch.and_ops += n_partners
+        scratch.word_ops += int(tao[-1] + tbo[-1])
+        flat_l, nonmax_l = flat_p.tolist(), nonmax.tolist()
+        p_off_l = p_off.tolist()
+        kept: list[int] = []
+        for p in range(n_parents):
+            s, e = p_off_l[p], p_off_l[p + 1]
+            if s == e:
+                continue
+            sub_nm = nonmax[s:e]
+            nm = int(sub_nm.sum())
+            size = e - s
+            if nm == size and nm <= 1:
+                continue
+            child_prefix = prefixes[int(psid[p])] + (int(pvi[p]),)
+            if nm < size:
+                for idx in range(s, e):
+                    if not nonmax_l[idx]:
+                        counters.maximal_emitted += 1
+                        emit(child_prefix + (flat_l[idx],))
+            if nm > 1:
+                counters.sublists_created += 1
+                kept.append(p)
+                out_prefixes.append(child_prefix)
+                out_cands.append(flat_p[s:e][sub_nm])
+        if kept:
+            parts.append(
+                take_streams(chw, cho, np.asarray(kept, dtype=np.int64))
+            )
+
     def _step_bitscan(self, sublists, counters, emit) -> list:
         """The bit-scan model: counters match
         ``generate_next_level_bitscan`` (including ``bits_scanned``),
@@ -284,7 +741,9 @@ class CompressedExpander:
             if len(tails) < 2:
                 continue
             if cn_wah is None:
-                cn_wah = WahBitmap.from_words(cn_words).wah_words()
+                cn_wah = WahBitmap.from_words(
+                    cn_words
+                ).wah_words().tolist()
             for v in tails[:-1]:
                 counters.bit_and_ops += 1
                 child_cn = wah_and_into(

@@ -21,14 +21,21 @@ A :class:`CliqueSubList` therefore stores
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.bitset import WORD_BITS, words_to_indices
 from repro.core.compressed import WahBitmap
+from repro.core.wah_kernels import (
+    batch_decode_indices,
+    batch_decode_words,
+    batch_encode_indices,
+    batch_encode_words,
+    concat_streams,
+)
 
-__all__ = ["CliqueSubList", "CompressedSubList"]
+__all__ = ["CliqueSubList", "CompressedSubList", "CompressedLevelBatch"]
 
 
 @dataclass(frozen=True)
@@ -201,4 +208,284 @@ class CompressedSubList:
             f"n_tails={self.n_tails}, "
             f"words={self.tails.compressed_words()}"
             f"+{self.cn.compressed_words()})"
+        )
+
+
+@dataclass(frozen=True)
+class CompressedLevelBatch:
+    """A whole level chunk of compressed sub-lists, structure-of-arrays.
+
+    The batch counterpart of a ``list[CompressedSubList]``: instead of
+    one Python object (and two :class:`~repro.core.compressed.WahBitmap`
+    wrappers) per sub-list, the level chunk holds **two flat ``uint32``
+    word arrays** — every tails stream concatenated, every CN stream
+    concatenated — plus ``int64`` offset arrays, the layout the
+    :mod:`repro.core.wah_kernels` batch kernels consume directly.  All
+    streams share one bit universe (the graph's 64-bit-padded vertex
+    span), so the batch AND / decode / encode kernels can treat the
+    whole chunk as run-boundary arithmetic on two arrays.
+
+    Attributes
+    ----------
+    prefixes:
+        The shared (k-1)-clique of each sub-list, in level order.
+    universe:
+        Bit universe of every tails/CN stream (``64 * ceil(n / 64)``).
+    n_tails:
+        ``int64`` per-entry tail counts (cached like
+        :attr:`CompressedSubList.n_tails`).
+    tails_words / tails_offsets:
+        SoA batch of the compressed tails bitmaps; stream ``i`` is
+        ``tails_words[tails_offsets[i]:tails_offsets[i + 1]]``.
+    cn_words / cn_offsets:
+        SoA batch of the compressed common-neighbor strings.
+    tails_idx:
+        Optional decoded-tails cache ``(flat_idx, idx_offsets)`` —
+        exactly what :func:`~repro.core.wah_kernels.
+        batch_decode_indices` would return for the tails batch.
+        Constructors that already hold the indices (the batch encoder,
+        the numpy generation step) attach them so consumers never pay
+        the round-trip decode; purely derived data, excluded from
+        comparison and repr.
+    """
+
+    prefixes: tuple[tuple[int, ...], ...]
+    universe: int
+    n_tails: np.ndarray
+    tails_words: np.ndarray
+    tails_offsets: np.ndarray
+    cn_words: np.ndarray
+    cn_offsets: np.ndarray
+    tails_idx: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    def decoded_tails(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(flat_idx, idx_offsets)`` of every tails stream, cached."""
+        if self.tails_idx is not None:
+            return self.tails_idx
+        return batch_decode_indices(
+            self.tails_words, self.tails_offsets,
+            self.n_groups, self.universe,
+        )
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+    @property
+    def n_groups(self) -> int:
+        """Shared WAH group count of every stream in the batch."""
+        return (self.universe + 30) // 31
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_sublists(
+        cls, sublists: list[CliqueSubList]
+    ) -> "CompressedLevelBatch":
+        """Batch-compress raw sub-lists (one vectorised encode each way).
+
+        Produces byte-identical streams to
+        :meth:`CompressedSubList.from_sublist` entry by entry — the
+        canonicalisation lives in one shared kernel — so accounting and
+        storage measurements are independent of which path compressed a
+        chunk.
+        """
+        if not sublists:
+            return cls.empty(0)
+        universe = WORD_BITS * int(sublists[0].cn_words.size)
+        cn_words, cn_offsets = batch_encode_words(
+            np.stack([sl.cn_words for sl in sublists]), universe
+        )
+        counts = np.fromiter(
+            (sl.tails.size for sl in sublists),
+            dtype=np.int64,
+            count=len(sublists),
+        )
+        idx_offsets = np.zeros(len(sublists) + 1, dtype=np.int64)
+        np.cumsum(counts, out=idx_offsets[1:])
+        flat_idx = (
+            np.concatenate([sl.tails for sl in sublists])
+            if idx_offsets[-1]
+            else np.zeros(0, dtype=np.int64)
+        )
+        tails_words, tails_offsets = batch_encode_indices(
+            flat_idx, idx_offsets, universe
+        )
+        return cls(
+            prefixes=tuple(sl.prefix for sl in sublists),
+            universe=universe,
+            n_tails=counts,
+            tails_words=tails_words,
+            tails_offsets=tails_offsets,
+            cn_words=cn_words,
+            cn_offsets=cn_offsets,
+            tails_idx=(flat_idx, idx_offsets),
+        )
+
+    @classmethod
+    def from_entries(
+        cls, entries: list[CompressedSubList]
+    ) -> "CompressedLevelBatch":
+        """Assemble a batch from per-entry compressed sub-lists."""
+        if not entries:
+            return cls.empty(0)
+        universe = entries[0].cn.n
+        tails_words, tails_offsets = concat_streams(
+            [e.tails.wah_words() for e in entries]
+        )
+        cn_words, cn_offsets = concat_streams(
+            [e.cn.wah_words() for e in entries]
+        )
+        return cls(
+            prefixes=tuple(e.prefix for e in entries),
+            universe=universe,
+            n_tails=np.fromiter(
+                (e.n_tails for e in entries),
+                dtype=np.int64,
+                count=len(entries),
+            ),
+            tails_words=tails_words,
+            tails_offsets=tails_offsets,
+            cn_words=cn_words,
+            cn_offsets=cn_offsets,
+        )
+
+    @classmethod
+    def concat(
+        cls, batches: "list[CompressedLevelBatch]"
+    ) -> "CompressedLevelBatch":
+        """Concatenate batches over the same universe, in order.
+
+        Pure array concatenation — streams are copied verbatim, never
+        re-encoded — so the result is byte-for-byte the batch that would
+        have been built from the combined entries.  The decoded-tails
+        cache survives when every input carries one.
+        """
+        if len(batches) == 1:
+            return batches[0]
+        if not batches:
+            return cls.empty(0)
+
+        def _cat(words, offsets):
+            lens = np.concatenate([np.diff(o) for o in offsets])
+            out = np.zeros(lens.size + 1, dtype=np.int64)
+            np.cumsum(lens, out=out[1:])
+            return np.concatenate(words), out
+
+        tw, to = _cat(
+            [b.tails_words for b in batches],
+            [b.tails_offsets for b in batches],
+        )
+        cw, co = _cat(
+            [b.cn_words for b in batches],
+            [b.cn_offsets for b in batches],
+        )
+        idx = None
+        if all(b.tails_idx is not None for b in batches):
+            flat, offs = _cat(
+                [b.tails_idx[0] for b in batches],
+                [b.tails_idx[1] for b in batches],
+            )
+            idx = (flat, offs)
+        return cls(
+            prefixes=tuple(
+                p for b in batches for p in b.prefixes
+            ),
+            universe=batches[0].universe,
+            n_tails=np.concatenate([b.n_tails for b in batches]),
+            tails_words=tw,
+            tails_offsets=to,
+            cn_words=cw,
+            cn_offsets=co,
+            tails_idx=idx,
+        )
+
+    @classmethod
+    def empty(cls, universe: int) -> "CompressedLevelBatch":
+        """The zero-entry batch over ``universe`` bits."""
+        return cls(
+            prefixes=(),
+            universe=universe,
+            n_tails=np.zeros(0, dtype=np.int64),
+            tails_words=np.zeros(0, dtype=np.uint32),
+            tails_offsets=np.zeros(1, dtype=np.int64),
+            cn_words=np.zeros(0, dtype=np.uint32),
+            cn_offsets=np.zeros(1, dtype=np.int64),
+        )
+
+    # -- conversions -------------------------------------------------------
+
+    def to_entries(self) -> list[CompressedSubList]:
+        """Per-entry view: ``CompressedSubList`` objects sharing the
+        flat word arrays (zero word copies — the bitmap wrappers are
+        read-only views into the batch)."""
+        universe = self.universe
+        to = self.tails_offsets
+        co = self.cn_offsets
+        tw = self.tails_words
+        cw = self.cn_words
+        tw.setflags(write=False)
+        cw.setflags(write=False)
+        return [
+            CompressedSubList(
+                prefix=self.prefixes[i],
+                n_tails=int(self.n_tails[i]),
+                tails=WahBitmap._trusted(
+                    universe, tw[to[i]:to[i + 1]]
+                ),
+                cn=WahBitmap._trusted(universe, cw[co[i]:co[i + 1]]),
+            )
+            for i in range(len(self.prefixes))
+        ]
+
+    def to_sublists(self) -> list[CliqueSubList]:
+        """Batch-decompress to the raw hot-loop representation.
+
+        Entry-by-entry equal to :meth:`CompressedSubList.to_sublist`,
+        via two vectorised decodes instead of ``2 N`` group walks.
+        """
+        if not self.prefixes:
+            return []
+        mat = batch_decode_words(
+            self.cn_words, self.cn_offsets, self.n_groups, self.universe
+        )
+        flat_idx, idx_offsets = self.decoded_tails()
+        return [
+            CliqueSubList(
+                prefix=self.prefixes[i],
+                tails=flat_idx[idx_offsets[i]:idx_offsets[i + 1]],
+                cn_words=mat[i],
+            )
+            for i in range(len(self.prefixes))
+        ]
+
+    # -- accounting --------------------------------------------------------
+
+    def nbytes(self, index_bytes: int = 8, pointer_bytes: int = 8) -> int:
+        """Sum of the per-entry :meth:`CompressedSubList.nbytes`."""
+        prefix_len = sum(len(p) for p in self.prefixes)
+        return (
+            prefix_len * index_bytes
+            + 4 * int(self.tails_words.size + self.cn_words.size)
+            + pointer_bytes * len(self.prefixes)
+        )
+
+    def uncompressed_nbytes(
+        self, index_bytes: int = 8, pointer_bytes: int = 8
+    ) -> int:
+        """Sum of the per-entry
+        :meth:`CompressedSubList.uncompressed_nbytes`."""
+        prefix_len = sum(len(p) for p in self.prefixes)
+        return (
+            int(self.n_tails.sum()) * index_bytes
+            + prefix_len * index_bytes
+            + (self.universe // 8 + pointer_bytes) * len(self.prefixes)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompressedLevelBatch(entries={len(self.prefixes)}, "
+            f"universe={self.universe}, "
+            f"words={int(self.tails_words.size + self.cn_words.size)})"
         )

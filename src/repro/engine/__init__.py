@@ -42,10 +42,12 @@ from repro.core.clique_enumerator import EnumerationResult, LevelStats
 from repro.core.counters import IOStats, OpCounters
 from repro.engine.config import (
     COMPUTE_DOMAINS,
+    KERNELS,
     LEVEL_STORES,
     EnumerationConfig,
     resolve_compute_domain,
     resolve_for_backend,
+    resolve_kernel,
 )
 from repro.engine.registry import (
     BackendInfo,
@@ -70,6 +72,8 @@ __all__ = [
     "resolve_for_backend",
     "resolve_compute_domain",
     "COMPUTE_DOMAINS",
+    "KERNELS",
+    "resolve_kernel",
     "EnumerationEngine",
     "EnumerationResult",
     "LevelStats",

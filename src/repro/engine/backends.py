@@ -45,6 +45,7 @@ from repro.engine.config import (
     EnumerationConfig,
     resolve_compute_domain,
     resolve_for_backend,
+    resolve_kernel,
 )
 from repro.engine.level_loop import make_emitter, run_level_loop
 from repro.engine.level_store import CompressedLevelStore, MemoryLevelStore
@@ -71,7 +72,9 @@ def _reject_unknown_options(config: EnumerationConfig, known: set[str]):
         )
 
 
-def _store_policy(config: EnumerationConfig, default: str):
+def _store_policy(
+    config: EnumerationConfig, default: str, kernel: str = "python"
+):
     """Resolve ``config.level_store`` for a level-loop backend.
 
     Returns ``(store_factory, io, store_options)`` — the factory for
@@ -80,6 +83,8 @@ def _store_policy(config: EnumerationConfig, default: str):
     otherwise), and the option keys the substrate understands (fed to
     :func:`_reject_unknown_options`, so e.g. a spill ``directory`` on
     the in-memory substrate still fails before work starts).
+    ``kernel`` is the run's resolved WAH kernel — the compressed store
+    uses it to pick its (byte-identical) batched or per-entry codec.
     """
     name = config.level_store or default
     if name == "memory":
@@ -87,7 +92,7 @@ def _store_policy(config: EnumerationConfig, default: str):
     if name == "wah":
         chunk_size = config.option("chunk_size", 256)
         return (
-            lambda: CompressedLevelStore(chunk_size),
+            lambda: CompressedLevelStore(chunk_size, kernel),
             None,
             {"chunk_size"},
         )
@@ -124,23 +129,37 @@ def _resolve_step(
 ):
     """Resolve the generation step for the configured compute domain.
 
-    Returns ``(step, compressed_stream, expander, domain)``: the step
-    callable for :func:`~repro.engine.level_loop.run_level_loop`,
-    whether the level should stream in compressed form (``"wah"``
-    domain on the ``"wah"`` store — the zero-round-trip pairing), the
-    :class:`~repro.core.compressed_domain.CompressedExpander` carrying
-    the kernel telemetry (``None`` in the bitset domain), and the
-    resolved domain name for ``result.compute_domain``.
+    Returns ``(step, stream_mode, expander, domain, kernel)``: the step
+    callable for :func:`~repro.engine.level_loop.run_level_loop`, how
+    the level streams between store and step (``"raw"`` /
+    ``"entries"`` / ``"batches"`` — the compressed modes are the
+    ``"wah"`` domain on the ``"wah"`` store, the zero-round-trip
+    pairing), the :class:`~repro.core.compressed_domain.
+    CompressedExpander` carrying the kernel telemetry (``None`` in the
+    bitset domain), the resolved domain name for
+    ``result.compute_domain``, and the resolved kernel for
+    ``result.kernel``.
     """
-    domain = resolve_compute_domain(
-        config, store_name, get_backend(backend_name)
-    )
+    info = get_backend(backend_name)
+    domain = resolve_compute_domain(config, store_name, info)
+    kernel = resolve_kernel(config, info)
     if domain == "bitset":
-        return bitset_step, False, None, "bitset"
+        return bitset_step, "raw", None, "bitset", kernel
     expander = CompressedExpander(
-        g, model=model, emit_compressed=store_name == "wah"
+        g,
+        model=model,
+        emit_compressed=store_name == "wah",
+        kernel=kernel,
     )
-    return expander.step, store_name == "wah", expander, "wah"
+    if store_name != "wah":
+        stream_mode = "raw"
+    elif kernel == "numpy" and not info.parallel:
+        # whole-batch streaming; the threads backend partitions levels
+        # across workers per sub-list, so it keeps the entry form
+        stream_mode = "batches"
+    else:
+        stream_mode = "entries"
+    return expander.step, stream_mode, expander, "wah", kernel
 
 
 @register_backend(
@@ -149,18 +168,21 @@ def _resolve_step(
     storage="memory",
     level_stores=LEVEL_STORES,
     compute_domains=("bitset", "wah"),
+    kernels=("python", "numpy"),
 )
 def run_incore(
     g: Graph, config: EnumerationConfig, on_clique: OnClique = None
 ) -> EnumerationResult:
     """The paper's in-core Clique Enumerator on the unified loop."""
-    store_factory, io, store_opts = _store_policy(config, "memory")
-    _reject_unknown_options(config, store_opts)
     _reject_jobs(config)
     store_name = config.level_store or "memory"
-    step, compressed_stream, expander, domain = _resolve_step(
+    step, stream_mode, expander, domain, kernel = _resolve_step(
         g, config, store_name, "incore", "pairs", generate_next_level
     )
+    store_factory, io, store_opts = _store_policy(
+        config, "memory", kernel
+    )
+    _reject_unknown_options(config, store_opts)
     result = run_level_loop(
         g,
         config,
@@ -169,9 +191,10 @@ def run_incore(
         store_factory=store_factory,
         backend="incore",
         io=io,
-        compressed_stream=compressed_stream,
+        stream_mode=stream_mode,
     )
     result.compute_domain = domain
+    result.kernel = kernel
     if expander is not None:
         result.domain_stats.update(expander.stats())
     return result
@@ -184,16 +207,15 @@ def run_incore(
     storage="memory",
     level_stores=LEVEL_STORES,
     compute_domains=("bitset", "wah"),
+    kernels=("python", "numpy"),
 )
 def run_bitscan(
     g: Graph, config: EnumerationConfig, on_clique: OnClique = None
 ) -> EnumerationResult:
     """The Section 2.3 bit-scan generation variant on the unified loop."""
-    store_factory, io, store_opts = _store_policy(config, "memory")
-    _reject_unknown_options(config, store_opts)
     _reject_jobs(config)
     store_name = config.level_store or "memory"
-    step, compressed_stream, expander, domain = _resolve_step(
+    step, stream_mode, expander, domain, kernel = _resolve_step(
         g,
         config,
         store_name,
@@ -201,6 +223,10 @@ def run_bitscan(
         "bitscan",
         generate_next_level_bitscan,
     )
+    store_factory, io, store_opts = _store_policy(
+        config, "memory", kernel
+    )
+    _reject_unknown_options(config, store_opts)
     result = run_level_loop(
         g,
         config,
@@ -209,9 +235,10 @@ def run_bitscan(
         store_factory=store_factory,
         backend="bitscan",
         io=io,
-        compressed_stream=compressed_stream,
+        stream_mode=stream_mode,
     )
     result.compute_domain = domain
+    result.kernel = kernel
     if expander is not None:
         result.domain_stats.update(expander.stats())
     return result
@@ -223,6 +250,7 @@ def run_bitscan(
     "(the retired out-of-core mode)",
     storage="disk",
     level_stores=LEVEL_STORES,
+    kernels=("python", "numpy"),
 )
 def run_ooc(
     g: Graph, config: EnumerationConfig, on_clique: OnClique = None
@@ -233,10 +261,11 @@ def run_ooc(
     holds the levels compressed in RAM instead); the result's ``io``
     field is populated only when the effective substrate touches disk.
     """
-    store_factory, io, store_opts = _store_policy(config, "disk")
+    kernel = resolve_kernel(config, get_backend("ooc"))
+    store_factory, io, store_opts = _store_policy(config, "disk", kernel)
     _reject_unknown_options(config, store_opts)
     _reject_jobs(config)
-    return run_level_loop(
+    result = run_level_loop(
         g,
         config,
         on_clique,
@@ -245,6 +274,8 @@ def run_ooc(
         backend="ooc",
         io=io,
     )
+    result.kernel = kernel
+    return result
 
 
 @register_backend(
@@ -255,6 +286,7 @@ def run_ooc(
     parallel=True,
     level_stores=LEVEL_STORES,
     compute_domains=("bitset", "wah"),
+    kernels=("python", "numpy"),
 )
 def run_threads(
     g: Graph, config: EnumerationConfig, on_clique: OnClique = None
@@ -274,8 +306,9 @@ def run_threads(
     byte-identical to ``incore``.
 
     In the ``"wah"`` compute domain each worker runs the
-    compressed-domain step over the shared WAH adjacency-row cache
-    instead of the released-GIL numpy kernels — the partitioning,
+    compressed-domain step over the shared WAH adjacency-row cache —
+    with ``kernel="numpy"`` the batched structure-of-arrays kernels,
+    whose vectorised inner loops release the GIL — the partitioning,
     stealing, and level-barrier machinery is unchanged (work estimates
     are identical by construction), and with the ``"wah"`` level store
     the sub-lists workers exchange stay compressed end to end.
@@ -292,12 +325,14 @@ def run_threads(
         resolve_worker_count,
     )
 
-    store_factory, io, store_opts = _store_policy(config, "memory")
-    _reject_unknown_options(config, store_opts | {"steal_granularity"})
     store_name = config.level_store or "memory"
-    step, compressed_stream, wah_expander, domain = _resolve_step(
+    step, stream_mode, wah_expander, domain, kernel = _resolve_step(
         g, config, store_name, "threads", "pairs", generate_next_level
     )
+    store_factory, io, store_opts = _store_policy(
+        config, "memory", kernel
+    )
+    _reject_unknown_options(config, store_opts | {"steal_granularity"})
     expander = ThreadedExpander(
         resolve_worker_count(config.jobs),
         config.option("steal_granularity", DEFAULT_STEAL_GRANULARITY),
@@ -312,11 +347,12 @@ def run_threads(
             store_factory=store_factory,
             backend="threads",
             io=io,
-            compressed_stream=compressed_stream,
+            stream_mode=stream_mode,
         )
     result.n_workers = expander.n_workers
     result.transfers = expander.stolen_sublists
     result.compute_domain = domain
+    result.kernel = kernel
     if wah_expander is not None:
         result.domain_stats.update(wah_expander.stats())
     return result

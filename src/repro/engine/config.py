@@ -22,8 +22,10 @@ __all__ = [
     "EnumerationConfig",
     "LEVEL_STORES",
     "COMPUTE_DOMAINS",
+    "KERNELS",
     "resolve_for_backend",
     "resolve_compute_domain",
+    "resolve_kernel",
 ]
 
 #: the level-storage substrates a config may request: ``"memory"``
@@ -40,6 +42,15 @@ LEVEL_STORES = ("memory", "disk", "wah")
 #: backend supports it (keeping the level compressed end to end),
 #: ``"bitset"`` otherwise.
 COMPUTE_DOMAINS = ("auto", "bitset", "wah")
+
+#: the kernel implementations a WAH compute-domain step may select:
+#: ``"python"`` (the scalar per-pair kernels of
+#: :mod:`repro.core.compressed`), ``"numpy"`` (the batched
+#: structure-of-arrays kernels of :mod:`repro.core.wah_kernels`), or
+#: ``"auto"`` — resolve to ``"numpy"`` when the backend advertises it,
+#: ``"python"`` otherwise.  The two are byte-equivalent; the choice
+#: affects only speed and telemetry.
+KERNELS = ("auto", "python", "numpy")
 
 
 def _stable_key(value: Any):
@@ -126,6 +137,17 @@ class EnumerationConfig:
         Part of the config's equality/hash, so the service result cache
         distinguishes the domains even though their outputs are
         byte-identical by construction.
+    kernel:
+        Kernel implementation for the WAH compute domain: one of
+        :data:`KERNELS`.  ``"auto"`` (the default) picks the batched
+        numpy structure-of-arrays kernels when the backend advertises
+        them (``BackendInfo.kernels``) and the scalar python kernels
+        otherwise; the explicit values pin one implementation (e.g. for
+        the equivalence harness or microbenchmarks).  An explicit
+        kernel a backend did not advertise is rejected by
+        :func:`resolve_for_backend`.  Ignored by ``"bitset"``-domain
+        runs, but still part of the config's equality/hash so the
+        service result cache keys stay conservative.
     options:
         Backend-specific knobs, e.g. ``{"directory": ..., "chunk_size":
         512}`` for ``"ooc"``, ``{"rel_tolerance": 0.1}`` for
@@ -145,6 +167,7 @@ class EnumerationConfig:
     jobs: int | None = None
     level_store: str | None = None
     compute_domain: str = "auto"
+    kernel: str = "auto"
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -187,6 +210,11 @@ class EnumerationConfig:
                 f"{', '.join(COMPUTE_DOMAINS)}, got "
                 f"{self.compute_domain!r}"
             )
+        if self.kernel not in KERNELS:
+            raise ParameterError(
+                f"kernel must be one of {', '.join(KERNELS)}, got "
+                f"{self.kernel!r}"
+            )
         # normalise to a plain dict so `options` is hashable-agnostic and
         # cheap to .get() from; the field stays read-only by convention.
         object.__setattr__(self, "options", dict(self.options))
@@ -217,6 +245,7 @@ class EnumerationConfig:
             self.jobs,
             self.level_store,
             self.compute_domain,
+            self.kernel,
             _stable_key(self.options),
         ))
 
@@ -266,6 +295,15 @@ def resolve_for_backend(
             f"domain {config.compute_domain!r}; supported: "
             f"{', '.join(info.compute_domains)} (or 'auto')"
         )
+    if (
+        config.kernel != "auto"
+        and config.kernel not in info.kernels
+    ):
+        raise ConfigError(
+            f"backend {config.backend!r} does not support kernel "
+            f"{config.kernel!r}; supported: "
+            f"{', '.join(info.kernels)} (or 'auto')"
+        )
     if config.k_min < info.min_k_min:
         return replace(config, k_min=info.min_k_min)
     return config
@@ -288,3 +326,19 @@ def resolve_compute_domain(
     if effective_store == "wah" and "wah" in info.compute_domains:
         return "wah"
     return "bitset"
+
+
+def resolve_kernel(config: "EnumerationConfig", info: Any) -> str:
+    """The concrete kernel (``"python"`` / ``"numpy"``) of one run.
+
+    ``"auto"`` picks the batched numpy kernels whenever the backend
+    advertises them — they are byte-equivalent to the python kernels
+    and strictly faster on whole-level batches — falling back to
+    ``"python"`` otherwise.  Explicit kernels pass through (validated
+    against ``info.kernels`` by :func:`resolve_for_backend`).
+    """
+    if config.kernel != "auto":
+        return config.kernel
+    if "numpy" in info.kernels:
+        return "numpy"
+    return "python"

@@ -61,9 +61,23 @@ def make_emitter(
     ``current_level`` is read lazily so :class:`~repro.errors.
     BudgetExceeded` reports the level being generated when the budget
     tripped.
+
+    The returned callable also carries a ``batch`` attribute —
+    ``emit.batch(cliques)`` delivers a pre-ordered list through one
+    budget check instead of one per clique.  Semantics match the
+    per-clique path exactly: everything the budget still allows is
+    delivered, then :class:`~repro.errors.BudgetExceeded` reports
+    ``max_cliques`` emitted.  Parallel expanders use it to drain a
+    whole merged level through the sink in a few calls.
     """
     emitted = 0
     max_cliques = config.max_cliques
+
+    def deliver(clique: tuple[int, ...]) -> None:
+        if on_clique is not None:
+            on_clique(clique)
+        else:
+            result.cliques.append(clique)
 
     def emit(clique: tuple[int, ...]) -> None:
         nonlocal emitted
@@ -74,11 +88,30 @@ def make_emitter(
                 emitted=emitted - 1,
                 level=current_level(),
             )
-        if on_clique is not None:
-            on_clique(clique)
-        else:
-            result.cliques.append(clique)
+        deliver(clique)
 
+    def emit_batch(cliques: list[tuple[int, ...]]) -> None:
+        nonlocal emitted
+        if (
+            max_cliques is not None
+            and emitted + len(cliques) > max_cliques
+        ):
+            for clique in cliques[: max_cliques - emitted]:
+                deliver(clique)
+            emitted = max_cliques
+            raise BudgetExceeded(
+                f"clique budget {max_cliques} exceeded",
+                emitted=max_cliques,
+                level=current_level(),
+            )
+        emitted += len(cliques)
+        if on_clique is not None:
+            for clique in cliques:
+                on_clique(clique)
+        else:
+            result.cliques.extend(cliques)
+
+    emit.batch = emit_batch
     return emit
 
 
@@ -160,7 +193,7 @@ def run_level_loop(
     store_factory: Callable[[], LevelStore],
     backend: str,
     io: IOStats | None = None,
-    compressed_stream: bool = False,
+    stream_mode: str = "raw",
 ) -> EnumerationResult:
     """Run the complete level-wise enumeration on one storage substrate.
 
@@ -171,12 +204,19 @@ def run_level_loop(
     output guarantees — each maximal clique exactly once, non-decreasing
     size order, canonical order within a size, nothing above ``k_max``.
 
-    ``compressed_stream=True`` (the ``compute_domain="wah"`` +
-    ``level_store="wah"`` pairing) streams each level through the
-    store's ``stream_entries`` — compressed sub-lists flow to the step
-    and compressed children flow back, so the level never materialises
-    in raw word form.  The ``step`` must then accept and return
-    :class:`~repro.core.sublist.CompressedSubList` entries.
+    ``stream_mode`` selects how a level flows between the store and the
+    step (the ``compute_domain="wah"`` + ``level_store="wah"`` pairing
+    never materialises the level in raw word form):
+
+    * ``"raw"`` — ``store.stream()`` yields plain
+      :class:`~repro.core.sublist.CliqueSubList` chunks (every store);
+    * ``"entries"`` — ``store.stream_entries()`` yields
+      :class:`~repro.core.sublist.CompressedSubList` chunks and the
+      step returns the same form (the per-entry compressed path);
+    * ``"batches"`` — ``store.stream_batches()`` yields whole
+      :class:`~repro.core.sublist.CompressedLevelBatch` objects and the
+      step returns one per chunk, appended via ``append_batch`` (the
+      numpy structure-of-arrays fast path).
     """
     k_min = config.k_min  # k_max >= k_min is the config's own invariant
     counters = OpCounters()
@@ -221,14 +261,19 @@ def run_level_loop(
             t_level = time.perf_counter()
             next_store = store_factory()
             try:
-                stream = (
-                    store.stream_entries()
-                    if compressed_stream
-                    else store.stream()
-                )
+                if stream_mode == "batches":
+                    stream = store.stream_batches()
+                elif stream_mode == "entries":
+                    stream = store.stream_entries()
+                else:
+                    stream = store.stream()
                 for chunk in stream:
-                    for child in step(chunk, g, counters, emit):
-                        next_store.append(child)
+                    children = step(chunk, g, counters, emit)
+                    if stream_mode == "batches":
+                        next_store.append_batch(children)
+                    else:
+                        for child in children:
+                            next_store.append(child)
             except BaseException:
                 next_store.close()
                 raise

@@ -34,7 +34,11 @@ from collections.abc import Iterator
 from repro.errors import LevelStoreError, ParameterError
 from repro.core.clique_enumerator import INDEX_BYTES, POINTER_BYTES
 from repro.core.out_of_core import DiskLevelStore
-from repro.core.sublist import CliqueSubList, CompressedSubList
+from repro.core.sublist import (
+    CliqueSubList,
+    CompressedLevelBatch,
+    CompressedSubList,
+)
 
 __all__ = [
     "LevelStore",
@@ -182,21 +186,46 @@ class CompressedLevelStore(LevelStore):
     ``domain_stats["decompressed_bytes"]`` /
     ``["decompressed_bytes_avoided"]`` telemetry.
 
+    The numpy kernel (``kernel="numpy"``) changes *how* the same bytes
+    are produced, never the bytes themselves: raw appends are buffered
+    and batch-encoded ``chunk_size`` at a time through
+    :meth:`~repro.core.sublist.CompressedLevelBatch.from_sublists`
+    (one vectorised encode instead of per-entry group walks), the
+    decompressing :meth:`stream` decodes each chunk with one vectorised
+    pass, and the :meth:`append_batch` / :meth:`stream_batches` pair
+    moves whole :class:`~repro.core.sublist.CompressedLevelBatch`
+    levels in and out without materialising per-entry objects at all —
+    the structure-of-arrays fast path of the numpy generation step.
+    The WAH encoding is canonical, so stored words — and therefore
+    every accounting property — are byte-identical across kernels.
+
     Parameters
     ----------
     chunk_size:
         Sub-lists decompressed per streamed chunk.  Larger chunks keep
         more of the generation step's cross-sub-list batching; smaller
         chunks bound the transient decompressed working set.
+    kernel:
+        ``"python"`` (per-entry scalar codec) or ``"numpy"`` (batched
+        structure-of-arrays codec).  Byte-identical storage either way.
     """
 
-    def __init__(self, chunk_size: int = 256):
+    def __init__(self, chunk_size: int = 256, kernel: str = "python"):
         if chunk_size < 1:
             raise ParameterError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
+        if kernel not in ("python", "numpy"):
+            raise ParameterError(
+                f"kernel must be 'python' or 'numpy', got {kernel!r}"
+            )
         self.chunk_size = chunk_size
-        self._entries: list[CompressedSubList] = []
+        self.kernel = kernel
+        self._pending: list[CliqueSubList] = []
+        #: ordered mix of per-entry and whole-batch parts; insertion
+        #: order across both kinds is the level's canonical order.
+        self._parts: list[CompressedSubList | CompressedLevelBatch] = []
+        self._n_sublists = 0
         self._n_candidates = 0
         self._candidate_bytes = 0
         self._uncompressed_bytes = 0
@@ -224,36 +253,87 @@ class CompressedLevelStore(LevelStore):
             uncompressed = entry.uncompressed_nbytes(
                 INDEX_BYTES, POINTER_BYTES
             )
+        elif self.kernel == "numpy":
+            # buffer raw appends and batch-encode a chunk at a time —
+            # canonical words, so accounting is unchanged byte for byte
+            self._pending.append(sl)
+            if len(self._pending) >= self.chunk_size:
+                self._flush_pending()
+            return
         else:
             entry = CompressedSubList.from_sublist(sl)
             uncompressed = sl.nbytes(INDEX_BYTES, POINTER_BYTES)
-        self._entries.append(entry)
+        self._account(entry, uncompressed)
+
+    def _account(
+        self, entry: CompressedSubList, uncompressed: int
+    ) -> None:
+        self._parts.append(entry)
+        self._n_sublists += 1
         self._n_candidates += len(entry)
         self._candidate_bytes += entry.nbytes(INDEX_BYTES, POINTER_BYTES)
         self._uncompressed_bytes += uncompressed
 
+    def _flush_pending(self) -> None:
+        pending, self._pending = self._pending, []
+        self._store_batch(CompressedLevelBatch.from_sublists(pending))
+
+    def _store_batch(self, batch: CompressedLevelBatch) -> None:
+        # batch.nbytes()/uncompressed_nbytes() equal the per-entry sums
+        # exactly (same formulas over the same canonical words), so the
+        # bulk charge is byte-identical to entry-at-a-time accounting.
+        self._parts.append(batch)
+        self._n_sublists += len(batch)
+        self._n_candidates += int(batch.n_tails.sum())
+        self._candidate_bytes += batch.nbytes(INDEX_BYTES, POINTER_BYTES)
+        self._uncompressed_bytes += batch.uncompressed_nbytes(
+            INDEX_BYTES, POINTER_BYTES
+        )
+
+    def append_batch(self, batch: CompressedLevelBatch) -> None:
+        """Store a whole compressed level batch (numpy fast path).
+
+        The batch is held as-is — one part, no per-entry objects — and
+        accounted in bulk; :meth:`stream_batches` later yields it back
+        untouched, so a batches-mode level loop never materialises an
+        entry.  Equivalent byte for byte to appending
+        ``batch.to_entries()`` one at a time.
+        """
+        if self._streamed:
+            raise LevelStoreError(
+                "append() after stream(): the level store is single-pass"
+            )
+        if len(batch):
+            self._store_batch(batch)
+
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._n_sublists + len(self._pending)
 
     @property
     def n_sublists(self) -> int:
         """The paper's ``N[k]`` for this level."""
-        return len(self._entries)
+        return self._n_sublists + len(self._pending)
 
     @property
     def n_candidates(self) -> int:
         """The paper's ``M[k]`` for this level."""
+        if self._pending:
+            self._flush_pending()
         return self._n_candidates
 
     @property
     def candidate_bytes(self) -> int:
         """Measured *compressed* candidate storage, in bytes."""
+        if self._pending:
+            self._flush_pending()
         return self._candidate_bytes
 
     @property
     def uncompressed_bytes(self) -> int:
         """What :class:`MemoryLevelStore` would have charged for this
         level — the baseline for :meth:`compression_ratio`."""
+        if self._pending:
+            self._flush_pending()
         return self._uncompressed_bytes
 
     def compression_ratio(self) -> float:
@@ -264,7 +344,36 @@ class CompressedLevelStore(LevelStore):
 
     def entries(self) -> list[CompressedSubList]:
         """The compressed sub-lists, for compressed-domain consumers."""
-        return list(self._entries)
+        if self._pending:
+            self._flush_pending()
+        out: list[CompressedSubList] = []
+        for part in self._parts:
+            if isinstance(part, CompressedLevelBatch):
+                out.extend(part.to_entries())
+            else:
+                out.append(part)
+        return out
+
+    def _iter_runs(
+        self,
+    ) -> Iterator[CompressedLevelBatch | list[CompressedSubList]]:
+        """The stored parts in insertion order: whole batches as-is,
+        loose entries re-chunked ``chunk_size`` at a time between them.
+        """
+        buf: list[CompressedSubList] = []
+        for part in self._parts:
+            if isinstance(part, CompressedLevelBatch):
+                if buf:
+                    yield buf
+                    buf = []
+                yield part
+            else:
+                buf.append(part)
+                if len(buf) >= self.chunk_size:
+                    yield buf
+                    buf = []
+        if buf:
+            yield buf
 
     def stream(self) -> Iterator[list[CliqueSubList]]:
         """Decompress and yield ``chunk_size`` sub-lists at a time."""
@@ -272,17 +381,75 @@ class CompressedLevelStore(LevelStore):
             raise LevelStoreError(
                 "stream() called twice on a single-pass level store"
             )
+        if self._pending:
+            self._flush_pending()
         self._streamed = True
         return self._stream()
 
     def _stream(self) -> Iterator[list[CliqueSubList]]:
-        for start in range(0, len(self._entries), self.chunk_size):
-            chunk = self._entries[start:start + self.chunk_size]
+        for run in self._iter_runs():
+            if isinstance(run, CompressedLevelBatch):
+                self.decompressed_bytes += run.uncompressed_nbytes(
+                    INDEX_BYTES, POINTER_BYTES
+                )
+                yield run.to_sublists()
+                continue
             self.decompressed_bytes += sum(
                 entry.uncompressed_nbytes(INDEX_BYTES, POINTER_BYTES)
-                for entry in chunk
+                for entry in run
             )
-            yield [entry.to_sublist() for entry in chunk]
+            if self.kernel == "numpy":
+                yield CompressedLevelBatch.from_entries(
+                    run
+                ).to_sublists()
+            else:
+                yield [entry.to_sublist() for entry in run]
+
+    def stream_batches(self) -> Iterator[CompressedLevelBatch]:
+        """Yield the level as :class:`CompressedLevelBatch` chunks.
+
+        The structure-of-arrays counterpart of :meth:`stream_entries`
+        for the numpy generation step: same chunking, same single-pass
+        contract, same ``bypassed_bytes`` accounting — the words never
+        leave compressed form.
+        """
+        if self._streamed:
+            raise LevelStoreError(
+                "stream() called twice on a single-pass level store"
+            )
+        if self._pending:
+            self._flush_pending()
+        self._streamed = True
+        return self._stream_batches()
+
+    def _stream_batches(self) -> Iterator[CompressedLevelBatch]:
+        # consecutive batch parts are coalesced into one yield: the
+        # consumer's per-call fixed cost dominates the array concat, and
+        # nothing decompresses either way, so no working-set concern
+        batch_run: list[CompressedLevelBatch] = []
+        for run in self._iter_runs():
+            if isinstance(run, CompressedLevelBatch):
+                batch_run.append(run)
+                continue
+            if batch_run:
+                yield self._merge_batches(batch_run)
+                batch_run = []
+            self.bypassed_bytes += sum(
+                entry.uncompressed_nbytes(INDEX_BYTES, POINTER_BYTES)
+                for entry in run
+            )
+            yield CompressedLevelBatch.from_entries(run)
+        if batch_run:
+            yield self._merge_batches(batch_run)
+
+    def _merge_batches(
+        self, batch_run: list[CompressedLevelBatch]
+    ) -> CompressedLevelBatch:
+        merged = CompressedLevelBatch.concat(batch_run)
+        self.bypassed_bytes += merged.uncompressed_nbytes(
+            INDEX_BYTES, POINTER_BYTES
+        )
+        return merged
 
     def stream_entries(self) -> Iterator[list[CompressedSubList]]:
         """Yield the compressed entries themselves, never decompressing.
@@ -297,21 +464,29 @@ class CompressedLevelStore(LevelStore):
             raise LevelStoreError(
                 "stream() called twice on a single-pass level store"
             )
+        if self._pending:
+            self._flush_pending()
         self._streamed = True
         return self._stream_entries()
 
     def _stream_entries(self) -> Iterator[list[CompressedSubList]]:
-        for start in range(0, len(self._entries), self.chunk_size):
-            chunk = self._entries[start:start + self.chunk_size]
+        for run in self._iter_runs():
+            if isinstance(run, CompressedLevelBatch):
+                self.bypassed_bytes += run.uncompressed_nbytes(
+                    INDEX_BYTES, POINTER_BYTES
+                )
+                yield run.to_entries()
+                continue
             self.bypassed_bytes += sum(
                 entry.uncompressed_nbytes(INDEX_BYTES, POINTER_BYTES)
-                for entry in chunk
+                for entry in run
             )
-            yield chunk
+            yield run
 
     def close(self) -> None:
         """Drop the compressed level."""
-        self._entries = []
+        self._parts = []
+        self._pending = []
 
 
 # The disk substrate implements the same interface structurally; register

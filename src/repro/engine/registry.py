@@ -68,6 +68,14 @@ class BackendInfo:
         at least ``"bitset"``; an explicit ``config.compute_domain``
         outside this tuple is rejected before dispatch by the shared
         :func:`~repro.engine.config.resolve_for_backend`.
+    kernels:
+        The concrete :data:`~repro.engine.config.KERNELS` values
+        (``"python"`` / ``"numpy"``, never ``"auto"``) this backend's
+        WAH-domain step can run on.  Every backend supports at least
+        ``"python"``; ``config.kernel = "auto"`` resolves to the
+        fastest advertised kernel
+        (:func:`~repro.engine.config.resolve_kernel`), and an explicit
+        kernel outside this tuple is rejected before dispatch.
     """
 
     name: str
@@ -78,6 +86,7 @@ class BackendInfo:
     min_k_min: int = 1
     level_stores: tuple[str, ...] = ()
     compute_domains: tuple[str, ...] = ("bitset",)
+    kernels: tuple[str, ...] = ("python",)
 
 
 _REGISTRY: dict[str, BackendInfo] = {}
@@ -93,6 +102,7 @@ def register_backend(
     min_k_min: int = 1,
     level_stores: tuple[str, ...] = (),
     compute_domains: tuple[str, ...] = ("bitset",),
+    kernels: tuple[str, ...] = ("python",),
     replace: bool = False,
 ):
     """Register an execution backend under ``name``.
@@ -124,6 +134,7 @@ def register_backend(
             min_k_min=min_k_min,
             level_stores=tuple(level_stores),
             compute_domains=tuple(compute_domains),
+            kernels=tuple(kernels),
         )
         return fn
 

@@ -47,6 +47,7 @@ from repro.parallel.load_balancer import StealingWorkQueue
 
 __all__ = [
     "DEFAULT_STEAL_GRANULARITY",
+    "EMIT_BATCH",
     "resolve_worker_count",
     "ThreadedExpander",
 ]
@@ -56,6 +57,12 @@ __all__ = [
 #: large enough that the queue lock is touched once per chunk, not once
 #: per sub-list.
 DEFAULT_STEAL_GRANULARITY = 4
+
+#: cliques per ``emit.batch`` call when draining a merged level through
+#: the sink: one budget check and one lock round-trip per EMIT_BATCH
+#: cliques instead of per clique, while keeping any single sink call —
+#: and the partial delivery before a budget trip — bounded.
+EMIT_BATCH = 1024
 
 
 def resolve_worker_count(jobs: int | None) -> int:
@@ -110,6 +117,10 @@ class ThreadedExpander:
         self.steal_granularity = steal_granularity
         self._step = step
         self._pool: ThreadPoolExecutor | None = None
+        # serialises sink delivery: sinks are not required to be
+        # thread-safe, so every batch the expander pushes goes through
+        # this one lock regardless of which thread drives step()
+        self._emit_lock = threading.Lock()
         self.steals = 0
         self.stolen_sublists = 0
 
@@ -196,10 +207,31 @@ class ThreadedExpander:
         # restore the sequential emission/storage order: cliques ascend
         # canonically within the level, children ascend by (unique)
         # prefix — identical to the order one worker would have produced
-        for clique in sorted(cliques):
-            emit(clique)
+        self._emit_cliques(sorted(cliques), emit)
         children.sort(key=lambda sl: sl.prefix)
         return children
+
+    def _emit_cliques(
+        self,
+        cliques: list[tuple[int, ...]],
+        emit: Callable[[tuple[int, ...]], None],
+    ) -> None:
+        """Drain the level's merged cliques through the sink, batched.
+
+        Uses the emitter's ``batch`` method when it has one —
+        ``EMIT_BATCH`` cliques per budget check — under the expander's
+        own lock, so delivery stays serialised whatever thread runs the
+        level loop.  A bare callable (a test harness, a custom driver)
+        still gets per-clique calls.
+        """
+        emit_batch = getattr(emit, "batch", None)
+        with self._emit_lock:
+            if emit_batch is None:
+                for clique in cliques:
+                    emit(clique)
+                return
+            for start in range(0, len(cliques), EMIT_BATCH):
+                emit_batch(cliques[start:start + EMIT_BATCH])
 
     def _drain(
         self,

@@ -191,6 +191,7 @@ class Job:
             "backend": self.spec.config.backend,
             "level_store": self.spec.config.level_store,
             "compute_domain": self.spec.config.compute_domain,
+            "kernel": self.spec.config.kernel,
             "cache_hit": self.cache_hit,
             "error": self.error,
             "queued_seconds": self.queued_seconds,
@@ -209,6 +210,7 @@ class Job:
             # run actually executed on (a submitted "auto" resolves at
             # dispatch) plus the codec/kernel telemetry
             out["compute_domain"] = self.result.compute_domain
+            out["kernel"] = self.result.kernel
             out["domain_stats"] = self.result.domain_stats
             out["n_cliques"] = (
                 self.sink_summary["cliques"]

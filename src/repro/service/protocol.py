@@ -40,6 +40,7 @@ _CONFIG_FIELDS = (
     "jobs",
     "level_store",
     "compute_domain",
+    "kernel",
     "options",
 )
 

@@ -86,7 +86,7 @@ class TestConstructionValidation:
     def test_over_long_stream_rejected(self):
         good = WahBitmap.from_indices(200, [1])
         with pytest.raises(BitSetError, match="expected"):
-            WahBitmap(200, good._words + [0])
+            WahBitmap(200, list(good._words) + [0])
 
     def test_zero_length_fill_rejected(self):
         # a bare fill flag encodes a zero-group run: meaningless
@@ -350,5 +350,5 @@ def test_random_decode_reencode_is_canonical(n, density):
         wa, wb = WahBitmap.from_bitset(sa), WahBitmap.from_bitset(sb)
         for w in (wa, wa & wb, wa | wb, wa ^ wb, wa.andnot(wb)):
             reencoded = WahBitmap.from_bitset(w.to_bitset())
-            assert reencoded._words == w._words
+            assert np.array_equal(reencoded._words, w._words)
             assert reencoded == w and hash(reencoded) == hash(w)

@@ -269,3 +269,81 @@ class TestConcurrencyStress:
         for store in ("memory", "disk", "wah"):
             res = _run(g, jobs=8, k_min=1, level_store=store)
             assert res.cliques == ref.cliques, store
+
+
+class TestEmissionBatching:
+    """The batched sink path: one budget check per chunk, same bytes."""
+
+    @staticmethod
+    def _emitter(max_cliques=None, on_clique=None, level=7):
+        from repro.core.clique_enumerator import EnumerationResult
+        from repro.engine.level_loop import make_emitter
+
+        result = EnumerationResult(
+            counters=OpCounters(), k_min=1, k_max=None, backend="incore"
+        )
+        config = EnumerationConfig(max_cliques=max_cliques)
+        return result, make_emitter(
+            result, config, on_clique, lambda: level
+        )
+
+    def test_batch_collects_like_per_clique(self):
+        cliques = [(i, i + 1) for i in range(10)]
+        result_a, emit_a = self._emitter()
+        for c in cliques:
+            emit_a(c)
+        result_b, emit_b = self._emitter()
+        emit_b.batch(cliques[:4])
+        emit_b.batch(cliques[4:])
+        assert result_b.cliques == result_a.cliques == cliques
+
+    def test_batch_budget_delivers_then_trips_like_per_clique(self):
+        cliques = [(i, i + 1) for i in range(10)]
+        result_a, emit_a = self._emitter(max_cliques=6)
+        with pytest.raises(BudgetExceeded) as seq:
+            for c in cliques:
+                emit_a(c)
+        result_b, emit_b = self._emitter(max_cliques=6)
+        emit_b.batch(cliques[:4])
+        with pytest.raises(BudgetExceeded) as bat:
+            emit_b.batch(cliques[4:])
+        # everything the budget allows is delivered, then the trip
+        # reports the same emitted count and level either way
+        assert result_b.cliques == result_a.cliques == cliques[:6]
+        assert bat.value.emitted == seq.value.emitted == 6
+        assert bat.value.level == seq.value.level == 7
+
+    def test_batch_exactly_at_budget_does_not_trip(self):
+        cliques = [(i,) for i in range(5)]
+        result, emit = self._emitter(max_cliques=5)
+        emit.batch(cliques)
+        assert result.cliques == cliques
+        with pytest.raises(BudgetExceeded):
+            emit((99,))
+
+    def test_batch_streams_through_on_clique(self):
+        seen = []
+        _, emit = self._emitter(on_clique=seen.append)
+        emit.batch([(1, 2), (2, 3)])
+        assert seen == [(1, 2), (2, 3)]
+
+    def test_expander_chunks_through_the_batch_method(self):
+        from repro.parallel.thread_backend import EMIT_BATCH
+
+        chunks = []
+
+        def emit(clique):
+            raise AssertionError("batched path must be preferred")
+
+        emit.batch = lambda cliques: chunks.append(len(cliques))
+        with ThreadedExpander(n_workers=2) as exp:
+            exp._emit_cliques(
+                [(i,) for i in range(2 * EMIT_BATCH + 5)], emit
+            )
+        assert chunks == [EMIT_BATCH, EMIT_BATCH, 5]
+
+    def test_expander_falls_back_to_bare_callables(self):
+        seen = []
+        with ThreadedExpander(n_workers=2) as exp:
+            exp._emit_cliques([(1,), (2,)], seen.append)
+        assert seen == [(1,), (2,)]
