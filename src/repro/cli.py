@@ -12,8 +12,11 @@ Usage::
     python -m repro.cli stats GRAPH
     python -m repro.cli convert GRAPH OUTPUT
     python -m repro.cli serve [--port N | --socket PATH] [--workers N]
+                              [--metrics [PORT]] [--trace PATH]
     python -m repro.cli submit GRAPH [--connect HOST:PORT | --socket PATH]
     python -m repro.cli jobs [--connect HOST:PORT | --socket PATH]
+    python -m repro.cli stats [GRAPH | --connect HOST:PORT | --socket PATH]
+    python -m repro.cli trace [--file PATH | --connect ... | --socket ...]
 
 ``GRAPH`` is any file readable by :mod:`repro.core.graph_io` (DIMACS
 ``.dimacs``/``.clq``, edge list ``.edges``/``.txt``, JSON ``.json``);
@@ -26,7 +29,11 @@ the historical ``--count`` flag is an alias for ``--sink count``.
 
 ``serve`` starts the long-lived enumeration job service
 (:mod:`repro.service`); ``submit`` and ``jobs`` talk to it over its
-JSON-lines protocol.
+JSON-lines protocol.  ``serve --metrics [PORT]`` enables the metrics
+plane (and, with a port, a ``GET /metrics`` Prometheus endpoint);
+``serve --trace PATH`` appends structured span records to a JSONL
+file.  ``stats`` without a graph shows a live service snapshot, and
+``trace`` renders span records from a running service or a JSONL file.
 """
 
 from __future__ import annotations
@@ -153,8 +160,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_max = sub.add_parser("maxclique", help="exact maximum clique")
     p_max.add_argument("graph", help="input graph file")
 
-    p_stats = sub.add_parser("stats", help="graph summary statistics")
-    p_stats.add_argument("graph", help="input graph file")
+    p_stats = sub.add_parser(
+        "stats",
+        help="graph summary statistics, or live service stats",
+    )
+    p_stats.add_argument(
+        "graph", nargs="?", default=None,
+        help="input graph file (omit to query a running service)",
+    )
+    p_stats.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="show live stats of the service at this TCP address",
+    )
+    p_stats.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="show live stats of the service on this unix socket",
+    )
 
     p_conv = sub.add_parser(
         "convert", help="convert between graph formats by extension"
@@ -183,6 +204,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--cache-size", type=int, default=128,
         help="result-cache entries, 0 disables (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--metrics", nargs="?", const=True, default=None,
+        metavar="PORT",
+        help=(
+            "enable the metrics plane (the 'metrics' wire op); with a "
+            "PORT, additionally serve GET /metrics there (0 picks a "
+            "free port)"
+        ),
+    )
+    p_serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help=(
+            "enable span tracing and append every record to this "
+            "JSONL file (the 'trace' wire op reads the in-memory ring)"
+        ),
     )
 
     def add_connect(p):
@@ -245,6 +282,19 @@ def build_parser() -> argparse.ArgumentParser:
         "jobs", help="list the jobs of a running service"
     )
     add_connect(p_jobs)
+
+    p_trace = sub.add_parser(
+        "trace", help="show trace spans from a service or a JSONL file"
+    )
+    add_connect(p_trace)
+    p_trace.add_argument(
+        "--file", default=None, metavar="PATH",
+        help="read records from a trace JSONL file instead of a service",
+    )
+    p_trace.add_argument(
+        "--limit", type=int, default=40, metavar="N",
+        help="newest records to show (default: %(default)s)",
+    )
     return parser
 
 
@@ -336,6 +386,13 @@ def _cmd_maxclique(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    if args.graph is None:
+        if args.connect is None and args.socket is None:
+            raise ReproError(
+                "stats needs a graph file, or --connect/--socket to "
+                "query a running service"
+            )
+        return _cmd_service_stats(args)
     g = graph_io.load(args.graph)
     s = summarize(g)
     print(f"vertices:            {s.n}")
@@ -351,6 +408,70 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_service_stats(args) -> int:
+    """``repro stats --connect/--socket``: one live service snapshot."""
+    from repro.service import ServiceClient
+
+    with ServiceClient(_service_address(args)) as client:
+        ping = client.ping()
+        stats = client.stats()
+    print(f"service:     version {ping['version']}, "
+          f"up {ping.get('uptime_seconds', 0.0):.1f}s")
+    print(f"workers:     {stats['workers']}")
+    print(f"queued:      {stats['queued']}")
+    states = " ".join(
+        f"{state}={count}" for state, count in stats["jobs"].items()
+    )
+    print(f"jobs:        {states}")
+    cache = stats.get("cache")
+    if cache is not None:
+        print(f"cache:       {cache['entries']}/{cache['max_entries']} "
+              f"entries, {cache['hits']} hits / {cache['misses']} "
+              f"misses / {cache['evictions']} evictions")
+    else:
+        print("cache:       disabled")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace``: render span records, newest ``--limit``.
+
+    Reads the service's in-memory ring over the wire, or — with
+    ``--file`` — a JSONL file written by ``serve --trace``.
+    """
+    import json
+
+    if args.file is not None:
+        records = []
+        with open(args.file, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        if args.limit is not None and args.limit >= 0:
+            records = records[-args.limit:]
+    else:
+        from repro.service import ServiceClient
+
+        with ServiceClient(_service_address(args)) as client:
+            records = client.trace(limit=args.limit)
+    for rec in records:
+        indent = "  " * int(rec.get("depth", 0))
+        name = rec.get("name", "?")
+        fields = " ".join(
+            f"{key}={value}"
+            for key, value in (rec.get("fields") or {}).items()
+        )
+        stamp = f"{rec.get('ts', 0.0):.6f}"
+        if rec.get("kind") == "span":
+            dur_ms = rec.get("dur_s", 0.0) * 1000.0
+            line = f"{stamp}  {indent}{name} [{dur_ms:.2f} ms] {fields}"
+        else:
+            line = f"{stamp}  {indent}* {name} {fields}"
+        print(line.rstrip())
+    return 0
+
+
 def _cmd_convert(args) -> int:
     g = graph_io.load(args.graph)
     graph_io.save(g, args.output)
@@ -361,12 +482,20 @@ def _cmd_convert(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.service import serve
 
+    # --metrics alone enables the plane (wire-op scrapes only);
+    # --metrics PORT additionally serves GET /metrics on that port
+    metrics_port = None
+    if args.metrics is not None and args.metrics is not True:
+        metrics_port = int(args.metrics)
     serve(
         host=args.host,
         port=args.port,
         socket_path=args.socket,
         workers=args.workers,
         cache_size=args.cache_size,
+        metrics=args.metrics is not None,
+        metrics_port=metrics_port,
+        trace_path=args.trace,
     )
     return 0
 
@@ -430,13 +559,21 @@ def _cmd_jobs(args) -> int:
 
     with ServiceClient(_service_address(args)) as client:
         jobs = client.jobs()
-    print(f"{'id':<12} {'status':<10} {'backend':<12} {'sink':<14} "
-          f"{'cliques':>8}  label")
+    print(f"{'id':<12} {'status':<10} {'backend':<12} {'domain':<7} "
+          f"{'kernel':<7} {'sink':<14} {'cliques':>8} {'transfers':>9} "
+          f"{'hit':<3}  label")
     for job in jobs:
         summary = job.get("sink_summary") or {}
         n = summary.get("cliques", job.get("n_cliques", ""))
+        # resolved values when the job ran (an "auto" submission shows
+        # what it actually executed on); the spec's otherwise
+        domain = job.get("compute_domain") or "-"
+        kernel = job.get("kernel") or "-"
+        transfers = job.get("transfers", "")
+        hit = "yes" if job.get("cache_hit") else ""
         print(f"{job['id']:<12} {job['status']:<10} "
-              f"{job['backend']:<12} {job['sink']:<14} {n!s:>8}  "
+              f"{job['backend']:<12} {domain:<7} {kernel:<7} "
+              f"{job['sink']:<14} {n!s:>8} {transfers!s:>9} {hit:<3}  "
               f"{job['label']}")
     return 0
 
@@ -450,6 +587,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
+    "trace": _cmd_trace,
 }
 
 

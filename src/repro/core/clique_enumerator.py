@@ -168,6 +168,14 @@ class EnumerationResult:
         level loop — entry 0 is the seeding step, entry ``i`` the
         generation of ``level_stats[i]``.  Empty for backends that do
         not run the shared loop.
+    load_balance:
+        Measured per-worker load-balance summary of a real parallel
+        run (the paper's Figure 8 signal, computed for actual threaded
+        runs by :func:`repro.parallel.metrics.worker_load_balance`):
+        ``n_workers``, ``mean_busy`` / ``std_busy`` seconds,
+        ``std_over_mean`` against the paper's ±10% criterion, and the
+        transfer count.  ``None`` for sequential runs and for parallel
+        runs whose levels were too narrow to fan out.
     """
 
     cliques: list[tuple[int, ...]] = field(default_factory=list)
@@ -185,6 +193,7 @@ class EnumerationResult:
     kernel: str = "python"
     domain_stats: dict = field(default_factory=dict)
     level_seconds: list[float] = field(default_factory=list)
+    load_balance: dict | None = None
 
     @property
     def levels(self) -> int:

@@ -78,6 +78,7 @@ from repro.core.compressed import (
 )
 from repro.core.counters import OpCounters
 from repro.core.graph import Graph
+from repro.obs.runtime import get_observability
 from repro.core.sublist import (
     CliqueSubList,
     CompressedLevelBatch,
@@ -182,6 +183,10 @@ class CompressedExpander:
         self._scratches: list[WahScratch] = []
         self._local = threading.local()
         self._lock = threading.Lock()
+        # the ambient tracer, captured once per expander (== per run);
+        # the disabled plane costs one None check per step
+        tracer = get_observability().tracer
+        self._tracer = tracer if tracer.enabled else None
 
     # -- shared state --------------------------------------------------------
 
@@ -267,6 +272,25 @@ class CompressedExpander:
         Matches the engine's ``GenerationStep`` signature; ``g`` must be
         the graph the expander was built for.
         """
+        if self._tracer is None:
+            return self._dispatch(sublists, counters, emit)
+        with self._tracer.span(
+            "expand",
+            kernel=self.kernel,
+            model=self._model,
+            parents=len(sublists),
+        ) as span:
+            children = self._dispatch(sublists, counters, emit)
+            span.set(children=len(children))
+            return children
+
+    def _dispatch(
+        self,
+        sublists: list,
+        counters: OpCounters,
+        emit: Callable[[tuple[int, ...]], None],
+    ) -> list:
+        """Route one chunk to the configured kernel/model pair."""
         if self.kernel == "numpy":
             if self._model == "pairs":
                 return self._step_pairs_np(sublists, counters, emit)

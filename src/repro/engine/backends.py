@@ -353,6 +353,16 @@ def run_threads(
     result.transfers = expander.stolen_sublists
     result.compute_domain = domain
     result.kernel = kernel
+    if any(expander.worker_busy):
+        # narrow runs (every level below the parallel threshold) never
+        # touch the pool and carry no balance evidence
+        from repro.parallel.metrics import worker_load_balance
+
+        result.load_balance = worker_load_balance(
+            expander.worker_busy,
+            transfers=expander.stolen_sublists,
+            max_level_imbalance=expander.max_step_imbalance,
+        ).to_dict()
     if wah_expander is not None:
         result.domain_stats.update(wah_expander.stats())
     return result

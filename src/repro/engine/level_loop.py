@@ -40,6 +40,8 @@ from repro.core.kclique import enumerate_k_cliques
 from repro.core.sublist import CliqueSubList
 from repro.engine.config import EnumerationConfig
 from repro.engine.level_store import LevelStore
+from repro.obs.runtime import get_observability
+from repro.obs.trace import NULL_SPAN
 
 __all__ = ["make_emitter", "seed_level", "run_level_loop"]
 
@@ -184,6 +186,25 @@ def _fold_store_stats(store: LevelStore, stats: dict) -> None:
     )
 
 
+def _trace_store_retired(trace, store: LevelStore, k: int) -> None:
+    """Emit the ``store`` event for a level store about to retire.
+
+    Captured *before* ``close()`` so the store's accounting is still
+    live; the compressed store additionally reports its codec traffic.
+    """
+    fields = {
+        "k": k,
+        "sublists": store.n_sublists,
+        "candidates": store.n_candidates,
+        "candidate_bytes": store.candidate_bytes,
+    }
+    decompressed = getattr(store, "decompressed_bytes", None)
+    if decompressed is not None:
+        fields["decompressed_bytes"] = decompressed
+        fields["bypassed_bytes"] = store.bypassed_bytes
+    trace.event("store", **fields)
+
+
 def run_level_loop(
     g: Graph,
     config: EnumerationConfig,
@@ -228,13 +249,25 @@ def run_level_loop(
         io=io,
     )
     level = k_min
+    # the ambient tracer, captured once per run; `trace is None` is the
+    # strict no-op path — no span objects, no kwargs dicts, when disabled
+    tracer = get_observability().tracer
+    trace = tracer if tracer.enabled else None
 
     emit = make_emitter(result, config, on_clique, lambda: level)
     t_level = time.perf_counter()
-    k, seed = seed_level(
-        g, k_min, counters, emit,
-        emit_maximal_edges=config.k_max is None or config.k_max >= 2,
+    span = (
+        trace.span("seed", backend=backend, k_min=k_min)
+        if trace is not None else NULL_SPAN
     )
+    with span:
+        k, seed = seed_level(
+            g, k_min, counters, emit,
+            emit_maximal_edges=config.k_max is None or config.k_max >= 2,
+        )
+        span.set(
+            k=k, sublists=len(seed), emitted=counters.maximal_emitted
+        )
 
     store = store_factory()
     try:
@@ -259,34 +292,50 @@ def run_level_loop(
             before = counters.maximal_emitted
             level = k + 1
             t_level = time.perf_counter()
-            next_store = store_factory()
-            try:
-                if stream_mode == "batches":
-                    stream = store.stream_batches()
-                elif stream_mode == "entries":
-                    stream = store.stream_entries()
-                else:
-                    stream = store.stream()
-                for chunk in stream:
-                    children = step(chunk, g, counters, emit)
-                    if stream_mode == "batches":
-                        next_store.append_batch(children)
-                    else:
-                        for child in children:
-                            next_store.append(child)
-            except BaseException:
-                next_store.close()
-                raise
-            store.close()
-            _fold_store_stats(store, result.domain_stats)
-            store = next_store
-            k += 1
-            counters.levels = k
-            result.level_stats.append(
-                _measure_store(
-                    k, store, counters.maximal_emitted - before, g.n
+            span = (
+                trace.span(
+                    "level", k=level, backend=backend,
+                    stream=stream_mode, parents=store.n_sublists,
                 )
+                if trace is not None else NULL_SPAN
             )
+            with span:
+                next_store = store_factory()
+                try:
+                    if stream_mode == "batches":
+                        stream = store.stream_batches()
+                    elif stream_mode == "entries":
+                        stream = store.stream_entries()
+                    else:
+                        stream = store.stream()
+                    for chunk in stream:
+                        children = step(chunk, g, counters, emit)
+                        if stream_mode == "batches":
+                            next_store.append_batch(children)
+                        else:
+                            for child in children:
+                                next_store.append(child)
+                except BaseException:
+                    next_store.close()
+                    raise
+                if trace is not None:
+                    _trace_store_retired(trace, store, k)
+                store.close()
+                _fold_store_stats(store, result.domain_stats)
+                store = next_store
+                k += 1
+                counters.levels = k
+                result.level_stats.append(
+                    _measure_store(
+                        k, store, counters.maximal_emitted - before, g.n
+                    )
+                )
+                span.set(
+                    sublists=store.n_sublists,
+                    candidates=store.n_candidates,
+                    emitted=counters.maximal_emitted - before,
+                    candidate_bytes=store.candidate_bytes,
+                )
             result.level_seconds.append(time.perf_counter() - t_level)
         result.completed = not len(store)
     finally:

@@ -1,0 +1,165 @@
+"""The process-wide observability plane: one switchboard, zero-cost off.
+
+Every instrumented layer — the engine level loop, the compressed-domain
+expander, the threaded expander, the job scheduler — reads the ambient
+:class:`Observability` through :func:`get_observability` instead of
+threading a handle through every call signature.  The default plane is
+**fully disabled**: the tracer is the allocation-free
+:data:`~repro.obs.trace.NULL_TRACER`, and ``metrics_on`` is false so no
+fold ever touches the registry.  ``repro serve --metrics/--trace`` (and
+tests) install an enabled plane via :func:`configure`.
+
+The hot-path contract, enforced by
+``tests/obs/test_disabled_path.py``:
+
+* with the plane disabled, **no** :class:`~repro.obs.trace.Span` object
+  is allocated anywhere in an enumeration run, and
+* the registry of a disabled plane stays byte-for-byte untouched
+  (``registry.snapshot() == {}``),
+
+so ``benchmarks/check_speed_baseline.py --check`` holds with
+observability off — the instrumentation's disabled cost is one ambient
+lookup per run plus one ``enabled`` check per instrumented region.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Observability",
+    "get_observability",
+    "set_observability",
+    "configure",
+    "disable",
+    "rss_bytes",
+]
+
+
+class Observability:
+    """One observability plane: a metrics registry plus a tracer.
+
+    Parameters
+    ----------
+    metrics:
+        Enable metric folding.  The registry object always exists (so
+        callers can hold it before deciding), but nothing writes to it
+        unless ``metrics_on`` is true.
+    trace:
+        Enable span recording (implied by ``trace_path``).
+    trace_path:
+        Optional JSONL file every trace record is appended to.
+    ring_size:
+        In-memory trace ring bound.
+    registry:
+        Share an existing registry instead of creating one.
+    """
+
+    def __init__(
+        self,
+        metrics: bool = False,
+        trace: bool = False,
+        trace_path: str | Path | None = None,
+        ring_size: int = 4096,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.metrics_on = bool(metrics)
+        self.tracer: Tracer | NullTracer = (
+            Tracer(ring_size=ring_size, jsonl_path=trace_path)
+            if trace or trace_path is not None
+            else NULL_TRACER
+        )
+
+    @property
+    def trace_on(self) -> bool:
+        """True when spans are being recorded."""
+        return self.tracer.enabled
+
+    @property
+    def on(self) -> bool:
+        """True when any part of the plane is live."""
+        return self.metrics_on or self.tracer.enabled
+
+    def close(self) -> None:
+        """Flush and close the tracer's JSONL file, if any."""
+        self.tracer.close()
+
+
+#: the ambient plane; swapped atomically under :data:`_swap_lock`.
+_ambient = Observability()
+_swap_lock = threading.Lock()
+
+
+def get_observability() -> Observability:
+    """The ambient observability plane (disabled unless configured)."""
+    return _ambient
+
+
+def set_observability(obs: Observability) -> Observability:
+    """Install ``obs`` as the ambient plane; returns the previous one.
+
+    Callers that install a plane temporarily (tests, ``repro serve``)
+    should restore the returned previous plane when done.
+    """
+    global _ambient
+    with _swap_lock:
+        previous, _ambient = _ambient, obs
+    return previous
+
+
+def configure(
+    metrics: bool = False,
+    trace: bool = False,
+    trace_path: str | Path | None = None,
+    ring_size: int = 4096,
+) -> Observability:
+    """Build an :class:`Observability` and install it as ambient.
+
+    Returns the *new* plane (use :func:`set_observability` directly
+    when the previous plane must be restored later).
+    """
+    obs = Observability(
+        metrics=metrics,
+        trace=trace,
+        trace_path=trace_path,
+        ring_size=ring_size,
+    )
+    set_observability(obs)
+    return obs
+
+
+def disable() -> Observability:
+    """Install a fresh fully-disabled plane; returns the previous one."""
+    return set_observability(Observability())
+
+
+def rss_bytes() -> int | None:
+    """This process's resident set size, or ``None`` when unreadable.
+
+    Reads ``/proc/self/statm`` (Linux); falls back to
+    ``resource.getrusage`` — whose ``ru_maxrss`` is the *peak* RSS, the
+    closest portable analogue — and reports ``None`` on platforms with
+    neither.  Exposed as the ``repro_rss_bytes`` gauge so operators can
+    hold the live footprint against the
+    :mod:`repro.core.memory_model` predictions the paper's Figure 9 is
+    built on.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            resident_pages = int(fh.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(rss_kb) * 1024
+    except Exception:  # pragma: no cover - exotic platforms
+        return None

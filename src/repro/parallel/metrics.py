@@ -28,7 +28,14 @@ __all__ = [
     "speedup_table",
     "LoadBalanceStats",
     "load_balance_stats",
+    "worker_load_balance",
+    "BALANCE_TOLERANCE",
 ]
+
+#: the paper's balance criterion: per-worker standard deviation within
+#: 10% of the mean run time ("the standard deviations are within 10%
+#: of the average run times").
+BALANCE_TOLERANCE = 0.10
 
 
 def absolute_speedup(runs: dict[int, SimulatedRun]) -> dict[int, float]:
@@ -94,6 +101,52 @@ class LoadBalanceStats:
         if self.mean_busy == 0:
             return 0.0
         return self.std_busy / self.mean_busy
+
+    @property
+    def balanced(self) -> bool:
+        """True when the run meets the paper's ±10% criterion."""
+        return self.std_over_mean <= BALANCE_TOLERANCE
+
+    def to_dict(self) -> dict:
+        """JSON-safe view for :class:`~repro.core.clique_enumerator.
+        EnumerationResult` and the service wire protocol."""
+        return {
+            "n_workers": self.n_processors,
+            "mean_busy": self.mean_busy,
+            "std_busy": self.std_busy,
+            "std_over_mean": self.std_over_mean,
+            "max_level_imbalance": self.max_level_imbalance,
+            "transfers": self.n_transfers,
+            "balanced": self.balanced,
+        }
+
+
+def worker_load_balance(
+    busy_seconds: list[float],
+    transfers: int = 0,
+    max_level_imbalance: float = 0.0,
+) -> LoadBalanceStats:
+    """Load-balance summary of a *real* parallel run.
+
+    The measured analogue of :func:`load_balance_stats`: instead of a
+    :class:`SimulatedRun`'s virtual-time ledger, ``busy_seconds`` is
+    the wall-clock each worker actually spent expanding chunks (the
+    :class:`~repro.parallel.thread_backend.ThreadedExpander` records
+    it), so the paper's Figure 8 mean/std evidence — and its ±10%
+    balance check — applies to genuine threaded runs, not only to the
+    simulator.  ``max_level_imbalance`` carries the worst per-step
+    ``(max - mean) / mean`` the caller observed across level barriers.
+    """
+    p = len(busy_seconds)
+    mu = sum(busy_seconds) / p if p else 0.0
+    var = sum((b - mu) ** 2 for b in busy_seconds) / p if p else 0.0
+    return LoadBalanceStats(
+        n_processors=p,
+        mean_busy=mu,
+        std_busy=var ** 0.5,
+        max_level_imbalance=max_level_imbalance,
+        n_transfers=transfers,
+    )
 
 
 def load_balance_stats(run: SimulatedRun) -> LoadBalanceStats:

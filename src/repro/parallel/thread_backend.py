@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 
@@ -43,6 +44,7 @@ from repro.core.clique_enumerator import generate_next_level
 from repro.core.counters import OpCounters
 from repro.core.graph import Graph
 from repro.core.sublist import CliqueSubList
+from repro.obs.runtime import get_observability
 from repro.parallel.load_balancer import StealingWorkQueue
 
 __all__ = [
@@ -123,6 +125,17 @@ class ThreadedExpander:
         self._emit_lock = threading.Lock()
         self.steals = 0
         self.stolen_sublists = 0
+        #: wall-clock seconds each worker spent expanding chunks across
+        #: the run's parallel steps — the measured Figure 8 signal
+        #: (:func:`repro.parallel.metrics.worker_load_balance`)
+        self.worker_busy = [0.0] * n_workers
+        #: worst per-step ``(max - mean) / mean`` busy-time imbalance
+        self.max_step_imbalance = 0.0
+        # the ambient tracer is captured once per expander (== per run):
+        # workers may emit from any thread, the tracer is thread-safe,
+        # and the disabled plane costs one attribute check per level
+        tracer = get_observability().tracer
+        self._tracer = tracer if tracer.enabled else None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -200,10 +213,28 @@ class ThreadedExpander:
         self.stolen_sublists += queue.stolen_items
         cliques: list[tuple[int, ...]] = []
         children: list[CliqueSubList] = []
-        for worker_counters, worker_cliques, worker_children in outcomes:
+        step_busy = []
+        for worker, (
+            worker_counters, worker_cliques, worker_children, busy
+        ) in enumerate(outcomes):
             counters.merge(worker_counters)
             cliques.extend(worker_cliques)
             children.extend(worker_children)
+            self.worker_busy[worker] += busy
+            step_busy.append(busy)
+        mean_busy = sum(step_busy) / len(step_busy)
+        if mean_busy > 0:
+            self.max_step_imbalance = max(
+                self.max_step_imbalance,
+                (max(step_busy) - mean_busy) / mean_busy,
+            )
+        if self._tracer is not None and queue.steals:
+            self._tracer.event(
+                "steal",
+                steals=queue.steals,
+                stolen_sublists=queue.stolen_items,
+                workers=self.n_workers,
+            )
         # restore the sequential emission/storage order: cliques ascend
         # canonically within the level, children ascend by (unique)
         # prefix — identical to the order one worker would have produced
@@ -239,16 +270,24 @@ class ThreadedExpander:
         queue: StealingWorkQueue,
         g: Graph,
         stop: threading.Event,
-    ) -> tuple[OpCounters, list, list]:
-        """Worker body: pull chunks (local, then stolen) until dry."""
+    ) -> tuple[OpCounters, list, list, float]:
+        """Worker body: pull chunks (local, then stolen) until dry.
+
+        Returns the worker's locals plus the wall-clock it spent inside
+        the step — the per-worker busy time the load-balance stats and
+        the paper's ±10% check are computed from.
+        """
         counters = OpCounters()
         cliques: list[tuple[int, ...]] = []
         children: list[CliqueSubList] = []
+        busy = 0.0
         while not stop.is_set():
             chunk = queue.take(worker)
             if chunk is None:
                 break
+            t0 = time.perf_counter()
             children.extend(
                 self._step(chunk, g, counters, cliques.append)
             )
-        return counters, cliques, children
+            busy += time.perf_counter() - t0
+        return counters, cliques, children, busy

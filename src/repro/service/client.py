@@ -223,6 +223,16 @@ class ServiceClient:
         """Server stats: queue depth, status counts, cache hit/miss."""
         return self.call("stats")["stats"]
 
+    def metrics(self) -> str:
+        """One Prometheus-text scrape (requires ``--metrics``)."""
+        return self.call("metrics")["metrics"]
+
+    def trace(self, limit: int | None = None) -> list[dict]:
+        """The newest ``limit`` trace records (requires ``--trace``)."""
+        return self.call(
+            "trace", **({} if limit is None else {"limit": limit})
+        )["records"]
+
     def shutdown_server(self) -> None:
         """Ask the server to stop listening (in-flight jobs finish)."""
         self.call("shutdown")

@@ -21,6 +21,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from repro.errors import ParameterError
 from repro.core.clique_enumerator import EnumerationResult
@@ -136,6 +137,10 @@ class Job:
         self.finished_at: float | None = None
         self._done = threading.Event()
         self._cancel = threading.Event()
+        # scheduler hook invoked on the terminal transition *before*
+        # waiters wake: a waiter returning from wait() must already
+        # observe the job's metrics fold
+        self._on_terminal: Callable[[Job], None] | None = None
 
     # -- client-side observation --------------------------------------------
 
@@ -176,7 +181,11 @@ class Job:
         self.status = status
         self.error = error
         self.finished_at = time.time()
-        self._done.set()
+        try:
+            if self._on_terminal is not None:
+                self._on_terminal(self)
+        finally:
+            self._done.set()
 
     # -- serialization -------------------------------------------------------
 
@@ -212,6 +221,9 @@ class Job:
             out["compute_domain"] = self.result.compute_domain
             out["kernel"] = self.result.kernel
             out["domain_stats"] = self.result.domain_stats
+            # measured Figure 8 evidence (threads backend); None for
+            # sequential or too-narrow runs
+            out["load_balance"] = self.result.load_balance
             out["n_cliques"] = (
                 self.sink_summary["cliques"]
                 if self.sink_summary

@@ -36,6 +36,8 @@ from repro.core.counters import OpCounters
 from repro.core.graph import Graph
 from repro.core.graph_io import graph_fingerprint, load as load_graph
 from repro.engine.api import EnumerationEngine
+from repro.obs.bridge import fold_job, sample_service
+from repro.obs.runtime import Observability, get_observability
 from repro.service.cache import ResultCache
 from repro.service.jobs import Job, JobSpec, JobStatus
 from repro.service.sinks import CollectSink, make_sink
@@ -83,6 +85,11 @@ class JobScheduler:
         are never pruned.
     graph_cache_size:
         LRU bound on the (path, mtime)-keyed memo of loaded graphs.
+    obs:
+        An explicit :class:`~repro.obs.runtime.Observability` plane to
+        report into; unset, the process-wide ambient plane is resolved
+        at each use (disabled by default, so an unconfigured scheduler
+        pays only a flag check per job).
 
     Use as a context manager for deterministic shutdown::
 
@@ -100,6 +107,7 @@ class JobScheduler:
         engine: EnumerationEngine | None = None,
         retain_jobs: int = 1024,
         graph_cache_size: int = 16,
+        obs: Observability | None = None,
     ):
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
@@ -118,6 +126,10 @@ class JobScheduler:
         self.n_workers = workers
         self.retain_jobs = retain_jobs
         self.graph_cache_size = graph_cache_size
+        self.started_at = time.time()
+        # pinned plane, or the ambient one resolved per use (so a test
+        # configuring observability after construction is still seen)
+        self._obs = obs
         self._queue: queue.PriorityQueue = queue.PriorityQueue()
         self._jobs: dict[str, Job] = {}
         # (path, mtime) -> (Graph, fingerprint): the fingerprint is
@@ -149,6 +161,7 @@ class JobScheduler:
                 )
             seq = next(self._seq)
             job = Job(f"job-{seq:06d}", spec)
+            job._on_terminal = self._fold_terminal
             self._jobs[job.id] = job
             self._prune_jobs_locked()
             # enqueue under the lock: a concurrent shutdown(wait=True)
@@ -216,8 +229,30 @@ class JobScheduler:
             "workers": self.n_workers,
             "queued": self._queue.qsize(),
             "jobs": by_status,
+            "uptime_seconds": time.time() - self.started_at,
             "cache": self.cache.stats() if self.cache is not None else None,
         }
+
+    @property
+    def obs(self) -> Observability:
+        """The observability plane this scheduler reports into."""
+        return self._obs if self._obs is not None else get_observability()
+
+    def render_metrics(self) -> str:
+        """One Prometheus-text scrape: refresh gauges, then render.
+
+        Raises :class:`~repro.errors.ParameterError` when the plane has
+        metrics disabled — the wire op and the HTTP exporter both want
+        a hard error over silently empty output.
+        """
+        obs = self.obs
+        if not obs.metrics_on:
+            raise ParameterError(
+                "metrics are disabled; start the service with --metrics "
+                "or configure(metrics=True)"
+            )
+        sample_service(obs.registry, self)
+        return obs.registry.render()
 
     # -- control -------------------------------------------------------------
 
@@ -325,7 +360,43 @@ class JobScheduler:
                 self._graphs.popitem(last=False)
         return entry
 
+    def _fold_terminal(self, job: Job) -> None:
+        """Job terminal-transition hook: fold its metrics.
+
+        Runs inside :meth:`Job._finish` *before* waiters wake, so a
+        client returning from ``wait()`` and scraping immediately
+        always sees the finished job's counters — the round trip the
+        acceptance test pins.
+        """
+        obs = self.obs
+        if obs.metrics_on:
+            fold_job(obs.registry, job)
+
     def _run_job(self, job: Job) -> None:
+        """Run one claimed job under the observability plane.
+
+        The job span covers the whole dispatch; the metrics fold runs
+        via the terminal hook inside ``_finish``, so a scrape either
+        sees the job still running (gauges) or fully folded (counters)
+        — never half.
+        """
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "job",
+                id=job.id,
+                backend=job.spec.config.backend,
+                sink=job.spec.sink,
+                label=job.spec.label,
+            ) as span:
+                self._dispatch_job(job)
+                span.set(
+                    status=job.status.value, cache_hit=job.cache_hit
+                )
+        else:
+            self._dispatch_job(job)
+
+    def _dispatch_job(self, job: Job) -> None:
         # the worker loop already claimed the job (status RUNNING)
         sink = None
         try:

@@ -12,7 +12,7 @@ are always valid.
 
 Operations
 ----------
-``ping``       liveness + version
+``ping``       liveness, version, uptime, active job count
 ``submit``     queue a job (path or inline graph) → ``job_id``
 ``status``     one job's state
 ``wait``       block (server-side) until a job is terminal
@@ -20,6 +20,8 @@ Operations
 ``jobs``       all jobs
 ``cancel``     cancel by id
 ``stats``      queue depth, status counts, cache hit/miss
+``metrics``    one Prometheus-text scrape (requires ``--metrics``)
+``trace``      newest trace records (requires ``--trace``)
 ``shutdown``   stop the listener (the scheduler drains separately)
 """
 
@@ -29,15 +31,20 @@ import socket
 import socketserver
 import stat
 import threading
+import time
 from pathlib import Path
 
 from repro._version import __version__
 from repro.errors import ParameterError, ReproError
+from repro.obs.http import MetricsExporter
+from repro.obs.metrics import CONTENT_TYPE
+from repro.obs.runtime import Observability, set_observability
 from repro.service.protocol import (
     decode_line,
     encode_line,
     spec_from_payload,
 )
+from repro.service.jobs import JobStatus
 from repro.service.scheduler import JobScheduler
 
 __all__ = ["DEFAULT_PORT", "EnumerationServer", "serve"]
@@ -99,6 +106,12 @@ class EnumerationServer:
         from :attr:`address`).
     socket_path:
         When given, listen on this unix socket instead of TCP.
+    metrics_port:
+        When given, additionally serve ``GET /metrics`` (Prometheus
+        text) on this TCP port via
+        :class:`~repro.obs.http.MetricsExporter`; ``0`` picks a free
+        port (read it back from :attr:`metrics_address`).  Requires
+        the scheduler's observability plane to have metrics enabled.
 
     Use :meth:`start` for a background listener (tests, embedding) or
     :meth:`serve_forever` to occupy the current thread (the CLI).
@@ -110,6 +123,7 @@ class EnumerationServer:
         host: str = "127.0.0.1",
         port: int = 0,
         socket_path: str | Path | None = None,
+        metrics_port: int | None = None,
     ):
         self._owns_scheduler = scheduler is None
         # the listener is bound *before* a default scheduler is
@@ -155,6 +169,25 @@ class EnumerationServer:
         self._shutdown_lock = threading.Lock()
         self._stopped = False
         self._serving = False
+        self.started_at = time.time()
+        self._exporter: MetricsExporter | None = None
+        if metrics_port is not None and not self.scheduler.obs.metrics_on:
+            # fail before serving — and without leaking what __init__
+            # already built (the bound listener, an owned scheduler)
+            self._server.server_close()
+            if self._socket_path is not None:
+                self._socket_path.unlink(missing_ok=True)
+            if self._owns_scheduler:
+                self.scheduler.shutdown(wait=False)
+            raise ParameterError(
+                "metrics_port requires an observability plane with "
+                "metrics enabled (repro serve --metrics, or "
+                "configure(metrics=True))"
+            )
+        if metrics_port is not None:
+            self._exporter = MetricsExporter(
+                self.scheduler.render_metrics, host=host, port=metrics_port
+            )
 
     @property
     def address(self) -> tuple[str, int] | str:
@@ -163,11 +196,20 @@ class EnumerationServer:
             return str(self._socket_path)
         return self._server.server_address[:2]
 
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        """The scrape endpoint's ``(host, port)``, or ``None``."""
+        if self._exporter is None:
+            return None
+        return self._exporter.address
+
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "EnumerationServer":
         """Serve on a background thread; returns self for chaining."""
         self._serving = True
+        if self._exporter is not None:
+            self._exporter.start()
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name="enum-server",
@@ -179,6 +221,8 @@ class EnumerationServer:
     def serve_forever(self) -> None:
         """Serve on the current thread until :meth:`shutdown`."""
         self._serving = True
+        if self._exporter is not None:
+            self._exporter.start()
         self._server.serve_forever()
 
     def shutdown(self) -> None:
@@ -195,6 +239,8 @@ class EnumerationServer:
                 return
             self._stopped = True
             thread, self._thread = self._thread, None
+        if self._exporter is not None:
+            self._exporter.stop()
         if self._serving:
             # BaseServer.shutdown waits on an event only serve_forever
             # sets — calling it on a never-started server blocks forever
@@ -226,7 +272,19 @@ class EnumerationServer:
         return handler(request)
 
     def _op_ping(self, request: dict) -> dict:
-        return {"ok": True, "pong": True, "version": __version__}
+        jobs = self.scheduler.jobs()
+        active = sum(
+            1 for job in jobs
+            if job.status in (JobStatus.PENDING, JobStatus.RUNNING)
+        )
+        return {
+            "ok": True,
+            "pong": True,
+            "version": __version__,
+            "uptime_seconds": time.time() - self.started_at,
+            "active_jobs": active,
+            "workers": self.scheduler.n_workers,
+        }
 
     def _op_submit(self, request: dict) -> dict:
         job = self.scheduler.submit(spec_from_payload(request))
@@ -267,6 +325,30 @@ class EnumerationServer:
     def _op_stats(self, request: dict) -> dict:
         return {"ok": True, "stats": self.scheduler.stats()}
 
+    def _op_metrics(self, request: dict) -> dict:
+        # render_metrics raises ParameterError when the plane has
+        # metrics off; the connection handler turns it into ok=False
+        return {
+            "ok": True,
+            "content_type": CONTENT_TYPE,
+            "metrics": self.scheduler.render_metrics(),
+        }
+
+    def _op_trace(self, request: dict) -> dict:
+        tracer = self.scheduler.obs.tracer
+        if not tracer.enabled:
+            raise ParameterError(
+                "tracing is disabled; start the service with --trace "
+                "or configure(trace=True)"
+            )
+        limit = request.get("limit")
+        return {
+            "ok": True,
+            "records": tracer.records(
+                None if limit is None else int(limit)
+            ),
+        }
+
     def _op_shutdown(self, request: dict) -> dict:
         # ack first, then stop the listener from a helper thread so this
         # handler's connection gets its response before the socket dies
@@ -280,34 +362,68 @@ def serve(
     socket_path: str | Path | None = None,
     workers: int = 2,
     cache_size: int = 128,
+    metrics: bool = False,
+    metrics_port: int | None = None,
+    trace_path: str | Path | None = None,
 ) -> None:
     """Blocking entry point behind ``repro serve``.
 
     Builds the scheduler (with an LRU result cache of ``cache_size``
     entries; 0 disables caching) and serves until interrupted.
+
+    ``metrics`` (implied by ``metrics_port``) and ``trace_path``
+    install an enabled observability plane for the server's lifetime —
+    ``metrics_port`` additionally serves ``GET /metrics`` — and the
+    previous (normally disabled) plane is restored on exit.
     """
     from repro.service.cache import ResultCache
 
-    cache = ResultCache(cache_size) if cache_size > 0 else None
-    scheduler = JobScheduler(workers=workers, cache=cache)
+    metrics = metrics or metrics_port is not None
+    previous = None
+    plane = None
+    if metrics or trace_path is not None:
+        plane = Observability(metrics=metrics, trace_path=trace_path)
+        previous = set_observability(plane)
     try:
-        server = EnumerationServer(
-            scheduler, host=host, port=port, socket_path=socket_path
+        cache = ResultCache(cache_size) if cache_size > 0 else None
+        scheduler = JobScheduler(workers=workers, cache=cache)
+        try:
+            server = EnumerationServer(
+                scheduler,
+                host=host,
+                port=port,
+                socket_path=socket_path,
+                metrics_port=metrics_port,
+            )
+        except BaseException:
+            # a failed bind must not leak the worker threads just started
+            scheduler.shutdown(wait=False)
+            raise
+        where = server.address
+        print(
+            f"repro enumeration service listening on {where}", flush=True
         )
-    except BaseException:
-        # a failed bind must not leak the worker threads just started
-        scheduler.shutdown(wait=False)
-        raise
-    where = server.address
-    print(f"repro enumeration service listening on {where}", flush=True)
-    interrupted = False
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        interrupted = True
+        if server.metrics_address is not None:
+            mhost, mport = server.metrics_address
+            print(
+                f"metrics exposed at http://{mhost}:{mport}/metrics",
+                flush=True,
+            )
+        if trace_path is not None:
+            print(f"trace records appended to {trace_path}", flush=True)
+        interrupted = False
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            interrupted = True
+        finally:
+            server.shutdown()
+            # Ctrl-C means stop *now*: every unfinished job is cancelled
+            # (in-flight ones abort at their next emission, leaving no
+            # partial output).  A protocol-driven stop drains the queue.
+            scheduler.shutdown(wait=not interrupted)
     finally:
-        server.shutdown()
-        # Ctrl-C means stop *now*: every unfinished job is cancelled
-        # (in-flight ones abort at their next emission, leaving no
-        # partial output).  A protocol-driven stop drains the queue.
-        scheduler.shutdown(wait=not interrupted)
+        if previous is not None:
+            set_observability(previous)
+        if plane is not None:
+            plane.close()

@@ -1,0 +1,17 @@
+"""Fixtures for the observability-plane tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observability, set_observability
+
+
+@pytest.fixture
+def plane():
+    """An enabled plane installed as ambient, restored on teardown."""
+    obs = Observability(metrics=True, trace=True, ring_size=256)
+    previous = set_observability(obs)
+    yield obs
+    set_observability(previous)
+    obs.close()

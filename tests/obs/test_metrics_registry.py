@@ -1,0 +1,167 @@
+"""MetricsRegistry: family semantics and the text exposition format."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.metrics import CONTENT_TYPE, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_get(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_things_total", "Things.")
+        c.inc()
+        c.inc(4)
+        assert c.get() == 5
+
+    def test_labelled_samples_are_independent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_jobs_total", "Jobs.", ("status",))
+        c.inc(status="done")
+        c.inc(2, status="failed")
+        assert c.get(status="done") == 1
+        assert c.get(status="failed") == 2
+        assert c.get(status="cancelled") == 0
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_things_total", "Things.")
+        with pytest.raises(ParameterError):
+            c.inc(-1)
+
+    def test_wrong_label_set_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_jobs_total", "Jobs.", ("status",))
+        with pytest.raises(ParameterError):
+            c.inc()  # missing the label
+        with pytest.raises(ParameterError):
+            c.inc(status="done", extra="x")
+
+    def test_set_to_is_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_cache_hits_total", "Hits.")
+        c.set_to(3)
+        c.set_to(3)  # no-op forward move is fine
+        c.set_to(7)
+        assert c.get() == 7
+        with pytest.raises(ParameterError):
+            c.set_to(6)
+
+
+class TestGauge:
+    def test_set_inc_and_set_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_queue_depth", "Depth.")
+        g.set(5)
+        g.inc(-2)
+        assert g.get() == 3
+        g.set_max(10)
+        g.set_max(4)  # below the high-water mark: ignored
+        assert g.get() == 10
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "repro_seconds", "Seconds.", buckets=(0.1, 1.0, 10.0)
+        )
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        text = reg.render()
+        assert 'repro_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_seconds_bucket{le="1"} 3' in text
+        assert 'repro_seconds_bucket{le="10"} 4' in text
+        assert 'repro_seconds_bucket{le="+Inf"} 5' in text
+        assert "repro_seconds_sum 56.05" in text
+        assert "repro_seconds_count 5" in text
+
+    def test_empty_bucket_list_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ParameterError):
+            reg.histogram("repro_seconds", "Seconds.", buckets=())
+
+
+class TestRegistry:
+    def test_register_or_return_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", "X.", ("k",))
+        b = reg.counter("repro_x_total", "X again.", ("k",))
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "X.")
+        with pytest.raises(ParameterError):
+            reg.gauge("repro_x_total", "X.")
+
+    def test_label_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "X.", ("k",))
+        with pytest.raises(ParameterError):
+            reg.counter("repro_x_total", "X.", ("j",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ParameterError):
+            reg.counter("repro-bad-name", "Bad.")
+        with pytest.raises(ParameterError):
+            reg.counter("repro_ok_total", "Bad label.", ("0bad",))
+
+    def test_render_format(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_jobs_total", "Jobs.", ("status",)).inc(
+            status="done"
+        )
+        reg.gauge("repro_depth", "Depth.").set(2.5)
+        text = reg.render()
+        assert "# HELP repro_jobs_total Jobs." in text
+        assert "# TYPE repro_jobs_total counter" in text
+        assert 'repro_jobs_total{status="done"} 1' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 2.5" in text
+        assert text.endswith("\n")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "X.", ("label",)).inc(
+            label='a"b\\c\nd'
+        )
+        text = reg.render()
+        assert r'label="a\"b\\c\nd"' in text
+
+    def test_integral_floats_render_without_point(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_depth", "Depth.").set(3.0)
+        assert "repro_depth 3\n" in reg.render()
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+    def test_snapshot_only_touched_families(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_untouched_total", "Never incremented.")
+        touched = reg.counter("repro_touched_total", "Incremented.")
+        assert reg.snapshot() == {}
+        touched.inc(3)
+        assert reg.snapshot() == {"repro_touched_total": {(): 3}}
+
+    def test_concurrent_increments_are_lossless(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_x_total", "X.")
+
+        def spin():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.get() == 8000

@@ -1,0 +1,126 @@
+"""Tracer: span records, nesting, the ring bound, and the JSONL file."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    REQUIRED_KEYS,
+    Tracer,
+)
+
+
+class TestSpans:
+    def test_span_record_schema(self):
+        tracer = Tracer()
+        with tracer.span("level", k=3) as span:
+            span.set(emitted=7)
+        (rec,) = tracer.records()
+        for key in REQUIRED_KEYS:
+            assert key in rec
+        assert rec["kind"] == "span"
+        assert rec["name"] == "level"
+        assert rec["dur_s"] >= 0
+        assert rec["fields"] == {"k": 3, "emitted": 7}
+
+    def test_nesting_depth_is_thread_local(self):
+        tracer = Tracer()
+        with tracer.span("job"):
+            with tracer.span("level"):
+                tracer.event("steal")
+        by_name = {r["name"]: r for r in tracer.records()}
+        assert by_name["job"]["depth"] == 0
+        assert by_name["level"]["depth"] == 1
+        assert by_name["steal"]["depth"] == 2
+
+        depths = {}
+
+        def other_thread():
+            with tracer.span("other"):
+                pass
+            depths["other"] = tracer.records()[-1]["depth"]
+
+        with tracer.span("outer"):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        # the other thread starts at its own depth 0, not under "outer"
+        assert depths["other"] == 0
+
+    def test_span_records_error_field_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("job"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (rec,) = tracer.records()
+        assert rec["fields"]["error"] == "ValueError"
+        # depth bookkeeping survives the exception
+        with tracer.span("next"):
+            pass
+        assert tracer.records()[-1]["depth"] == 0
+
+    def test_event_has_no_duration(self):
+        tracer = Tracer()
+        tracer.event("steal", steals=2)
+        (rec,) = tracer.records()
+        assert rec["kind"] == "event"
+        assert "dur_s" not in rec
+
+
+class TestRing:
+    def test_ring_is_bounded_newest_win(self):
+        tracer = Tracer(ring_size=4)
+        for i in range(10):
+            tracer.event("e", i=i)
+        records = tracer.records()
+        assert len(records) == 4
+        assert [r["fields"]["i"] for r in records] == [6, 7, 8, 9]
+
+    def test_records_limit_returns_newest_oldest_first(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.event("e", i=i)
+        assert [
+            r["fields"]["i"] for r in tracer.records(limit=2)
+        ] == [3, 4]
+
+
+class TestJsonl:
+    def test_records_append_as_json_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(jsonl_path=path)
+        with tracer.span("job", id="job-1"):
+            tracer.event("steal", steals=1)
+        tracer.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            rec = json.loads(line)
+            for key in REQUIRED_KEYS:
+                assert key in rec
+
+    def test_close_is_idempotent_and_ring_survives(self, tmp_path):
+        tracer = Tracer(jsonl_path=tmp_path / "t.jsonl")
+        tracer.event("e")
+        tracer.close()
+        tracer.close()
+        assert len(tracer.records()) == 1
+
+
+class TestDisabledSingletons:
+    def test_null_tracer_hands_out_one_shared_span(self):
+        a = NULL_TRACER.span("job", id="x")
+        b = NULL_TRACER.span("level", k=3)
+        assert a is b is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_TRACER.span("job") as span:
+            span.set(anything=1)
+        NULL_TRACER.event("steal")
+        assert NULL_TRACER.records() == []
+        assert NULL_TRACER.enabled is False

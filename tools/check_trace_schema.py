@@ -1,0 +1,118 @@
+"""Schema gate for trace JSONL files written by ``repro serve --trace``.
+
+Each line must be a standalone JSON object carrying every key in
+:data:`repro.obs.trace.REQUIRED_KEYS` with the right shape:
+
+* ``ts`` — non-negative epoch float;
+* ``kind`` — ``"span"`` or ``"event"``;
+* ``name`` — non-empty string;
+* ``thread`` — string thread name;
+* ``depth`` — non-negative int;
+* ``fields`` — JSON object (possibly empty);
+* spans additionally carry ``dur_s >= 0``; events must *not* carry
+  ``dur_s`` (the distinction is the schema, not a convention).
+
+CI runs this over the trace file produced by the service smoke so the
+wire format ``repro trace --file`` and external tooling parse cannot
+drift silently.
+
+Usage::
+
+    python tools/check_trace_schema.py trace.jsonl [more.jsonl ...]
+
+Exits non-zero on the first malformed file, printing one line per
+violation (``path:lineno: problem``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.trace import REQUIRED_KEYS  # noqa: E402
+
+_KINDS = ("span", "event")
+
+
+def check_record(record: object) -> list[str]:
+    """All schema violations in one decoded JSONL record."""
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, not an object"]
+    problems = []
+    for key in REQUIRED_KEYS:
+        if key not in record:
+            problems.append(f"missing required key {key!r}")
+    kind = record.get("kind")
+    if "kind" in record and kind not in _KINDS:
+        problems.append(f"kind {kind!r} is not one of {_KINDS}")
+    if "ts" in record:
+        if not isinstance(record["ts"], (int, float)) or record["ts"] < 0:
+            problems.append(f"ts {record['ts']!r} is not a non-negative number")
+    if "name" in record:
+        if not isinstance(record["name"], str) or not record["name"]:
+            problems.append(f"name {record['name']!r} is not a non-empty string")
+    if "thread" in record and not isinstance(record["thread"], str):
+        problems.append(f"thread {record['thread']!r} is not a string")
+    if "depth" in record:
+        depth = record["depth"]
+        if not isinstance(depth, int) or isinstance(depth, bool) or depth < 0:
+            problems.append(f"depth {depth!r} is not a non-negative int")
+    if "fields" in record and not isinstance(record["fields"], dict):
+        problems.append(f"fields {record['fields']!r} is not an object")
+    if kind == "span":
+        dur = record.get("dur_s")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            problems.append(f"span dur_s {dur!r} is not a non-negative number")
+    elif kind == "event" and "dur_s" in record:
+        problems.append("event carries dur_s (spans only)")
+    return problems
+
+
+def check_file(path: Path) -> list[str]:
+    """``path:lineno: problem`` strings for every violation in a file."""
+    violations = []
+    lines = path.read_text().splitlines()
+    if not lines:
+        violations.append(f"{path}: file is empty (no trace records)")
+        return violations
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            violations.append(f"{path}:{lineno}: blank line inside JSONL")
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            violations.append(f"{path}:{lineno}: invalid JSON ({exc})")
+            continue
+        for problem in check_record(record):
+            violations.append(f"{path}:{lineno}: {problem}")
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip().splitlines()[-4].strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for arg in argv:
+        path = Path(arg)
+        if not path.is_file():
+            print(f"{path}: no such file", file=sys.stderr)
+            failed = True
+            continue
+        violations = check_file(path)
+        for violation in violations:
+            print(violation, file=sys.stderr)
+        if violations:
+            failed = True
+        else:
+            n = len(path.read_text().splitlines())
+            print(f"{path}: {n} records ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
