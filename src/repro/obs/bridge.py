@@ -27,7 +27,56 @@ import time
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import rss_bytes
 
-__all__ = ["fold_result", "fold_job", "sample_service"]
+__all__ = ["METRIC_NAMES", "fold_result", "fold_job", "sample_service"]
+
+#: The metric-name authority.  Every ``repro_*`` series the stats plane
+#: can export is declared here; ``tools/repro_lint`` (RL002) checks that
+#: registry constructor calls across ``src/`` and the metric table in
+#: ``docs/ARCHITECTURE.md`` agree with this tuple, and the obs test
+#: suite asserts the names rendered from ``_COUNTER_FIELDS`` /
+#: ``_DOMAIN_FIELDS`` stay inside it.
+METRIC_NAMES = (
+    # completion folds (fold_result)
+    "repro_cliques_emitted_total",
+    "repro_bit_and_ops_total",
+    "repro_bit_exist_checks_total",
+    "repro_pair_checks_total",
+    "repro_cliques_generated_total",
+    "repro_sublists_created_total",
+    "repro_counter_extra_total",
+    "repro_job_levels_total",
+    "repro_level_candidates_total",
+    "repro_level_sublists_total",
+    "repro_level_seconds_total",
+    "repro_level_seconds",
+    "repro_peak_candidate_bytes",
+    "repro_peak_paper_formula_bytes",
+    "repro_kernel_word_ops_total",
+    "repro_kernel_ands_total",
+    "repro_decompressed_bytes_total",
+    "repro_decompressed_bytes_avoided_total",
+    "repro_adj_rows_compressed_total",
+    "repro_domain_stats_total",
+    "repro_transfers_total",
+    "repro_io_read_bytes_total",
+    "repro_io_written_bytes_total",
+    "repro_load_balance_std_over_mean",
+    # job lifecycle folds (fold_job)
+    "repro_jobs_finished_total",
+    "repro_job_queued_seconds",
+    "repro_job_run_seconds",
+    "repro_cache_replayed_jobs_total",
+    # scrape samples (sample_service)
+    "repro_workers",
+    "repro_queue_depth",
+    "repro_jobs",
+    "repro_cache_entries",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_cache_evictions_total",
+    "repro_uptime_seconds",
+    "repro_rss_bytes",
+)
 
 #: OpCounters attributes folded 1:1 into ``repro_<name>_total``.
 _COUNTER_FIELDS = (

@@ -210,12 +210,17 @@ class EnumerationServer:
         self._serving = True
         if self._exporter is not None:
             self._exporter.start()
-        self._thread = threading.Thread(
+        thread = threading.Thread(
             target=self._server.serve_forever,
             name="enum-server",
             daemon=True,
         )
-        self._thread.start()
+        # publish under the shutdown lock: a concurrent shutdown() swaps
+        # _thread out under it, and a bare write here could resurrect
+        # the handle after shutdown already consumed (and joined) it
+        with self._shutdown_lock:
+            self._thread = thread
+        thread.start()
         return self
 
     def serve_forever(self) -> None:

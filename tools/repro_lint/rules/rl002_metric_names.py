@@ -1,0 +1,152 @@
+"""RL002 — metric-name authority.
+
+``src/repro/obs/bridge.py`` owns the metric namespace: its
+``METRIC_NAMES`` tuple is the single authority for every ``repro_*``
+series the stats plane exports.  Two drifts are caught:
+
+* a ``repro_*`` string literal passed to a registry constructor
+  (``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)``) anywhere
+  under ``src/`` that the manifest does not list — a metric invented
+  outside the authority;
+* the metric table in ``docs/ARCHITECTURE.md`` disagreeing with the
+  manifest in either direction (a shipped metric undocumented, or a
+  documented metric that no longer exists).
+
+Names rendered at runtime through f-strings (the ``_COUNTER_FIELDS``
+fold) cannot be checked statically; the test suite closes that gap by
+asserting the rendered names are a subset of the manifest.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from tools.repro_lint.core import (
+    Project,
+    Violation,
+    module_constants,
+    register_rule,
+)
+
+BRIDGE = "src/repro/obs/bridge.py"
+DOC = "docs/ARCHITECTURE.md"
+
+_CONSTRUCTORS = {"counter", "gauge", "histogram"}
+
+#: a metric token inside backticks in a ``|`` table row.
+_BACKTICK_RE = re.compile(r"`([^`]*)`")
+_METRIC_RE = re.compile(r"repro_[a-z0-9_]+")
+
+#: label-template suffixes the docs table renders (``{k}``/``{status}``
+#: placeholders) — stripped before comparing against the manifest.
+_TEMPLATE_RE = re.compile(r"\{[a-z_]+\}")
+
+
+def _doc_metric_names(text: str) -> dict[str, int]:
+    """``{metric_name: first_lineno}`` from the docs metric table."""
+    names: dict[str, int] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.lstrip()
+        if not stripped.startswith("|"):
+            continue
+        # only the name cell (first column) declares a metric; prose in
+        # later cells may mention other series without listing them
+        first_cell = stripped.strip("|").split("|", 1)[0]
+        for tick in _BACKTICK_RE.findall(first_cell):
+            rendered = _TEMPLATE_RE.sub(" ", tick)
+            for token in _METRIC_RE.findall(rendered):
+                names.setdefault(token, lineno)
+    return names
+
+
+@register_rule(
+    "RL002",
+    "metric-name authority",
+    "repro_* metric literals must come from the bridge METRIC_NAMES "
+    "manifest, and the docs/ARCHITECTURE.md table must list exactly "
+    "the manifest.",
+)
+def check(project: Project) -> list[Violation]:
+    bridge = project.source(BRIDGE)
+    if bridge is None or bridge.tree is None:
+        return []  # no obs bridge: out of scope (fixture tree)
+    violations: list[Violation] = []
+    manifest = module_constants(bridge.tree).get("METRIC_NAMES")
+    if manifest is None:
+        violations.append(
+            Violation(
+                "RL002",
+                BRIDGE,
+                0,
+                "bridge has no METRIC_NAMES manifest — the metric "
+                "namespace needs one declared authority",
+            )
+        )
+        return violations
+    authority = set(manifest)
+
+    for src in project.python_sources("src"):
+        if src.tree is None:
+            continue
+        for node in ast.walk(src.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _CONSTRUCTORS
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+            ):
+                continue
+            name = first.value
+            if name.startswith("repro_") and name not in authority:
+                violations.append(
+                    Violation(
+                        "RL002",
+                        src.relpath,
+                        node.lineno,
+                        f"metric {name!r} is not in the bridge "
+                        "METRIC_NAMES manifest — add it there (and to "
+                        "the docs table) or reuse an existing series",
+                    )
+                )
+
+    doc = project.source(DOC)
+    if doc is None:
+        violations.append(
+            Violation(
+                "RL002",
+                DOC,
+                0,
+                "docs/ARCHITECTURE.md missing: the metric table must "
+                "mirror the bridge METRIC_NAMES manifest",
+            )
+        )
+        return violations
+    documented = _doc_metric_names(doc.text)
+    for name in sorted(authority - set(documented)):
+        violations.append(
+            Violation(
+                "RL002",
+                DOC,
+                0,
+                f"metric {name!r} is exported by the bridge but "
+                "missing from the ARCHITECTURE.md metric table",
+            )
+        )
+    for name in sorted(set(documented) - authority):
+        violations.append(
+            Violation(
+                "RL002",
+                DOC,
+                documented[name],
+                f"metric {name!r} is documented but not in the bridge "
+                "METRIC_NAMES manifest — stale docs row?",
+            )
+        )
+    return violations

@@ -1,0 +1,105 @@
+"""RL003 — observability disabled-path purity.
+
+The obs plane's whole-repo guarantee is that a disabled run touches no
+metrics machinery: code outside ``src/repro/obs/`` reaches
+observability only through the ambient accessors
+(``get_observability()`` / ``NULL_TRACER``), which hand back shared
+null objects.  Two anti-patterns break that:
+
+* constructing ``MetricsRegistry()`` / ``Tracer()`` / ``Span()``
+  directly — a private metrics island the stats plane never exports and
+  the null path never elides;
+* module-level span/event/observability calls — import-time side
+  effects that run before (or regardless of) ``configure()``.
+
+``serve()`` building the process-wide ``Observability`` and installing
+it via ``set_observability`` is the sanctioned composition root, so
+``Observability(...)`` construction is *not* flagged — only the raw
+registry/tracer classes are.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_lint.core import (
+    Project,
+    Violation,
+    attr_chain,
+    register_rule,
+)
+
+OBS_PREFIX = "src/repro/obs/"
+
+_BANNED_CONSTRUCTORS = {"MetricsRegistry", "Tracer", "Span"}
+_AMBIENT_CALLS = {"get_observability", "span", "event"}
+
+
+def _module_level_nodes(tree: ast.Module):
+    """Nodes executed at import time (skipping function bodies)."""
+    stack: list[ast.AST] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            # default args still evaluate at import time
+            stack.extend(node.args.defaults)
+            stack.extend(
+                d for d in node.args.kw_defaults if d is not None
+            )
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule(
+    "RL003",
+    "obs disabled-path purity",
+    "Outside src/repro/obs/, observability is reached only through "
+    "get_observability()/NULL_TRACER inside functions — no direct "
+    "MetricsRegistry/Tracer construction, no import-time spans.",
+)
+def check(project: Project) -> list[Violation]:
+    violations: list[Violation] = []
+    for src in project.python_sources("src"):
+        if src.relpath.startswith(OBS_PREFIX) or src.tree is None:
+            continue
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            tail = chain.rsplit(".", 1)[-1]
+            if tail in _BANNED_CONSTRUCTORS:
+                violations.append(
+                    Violation(
+                        "RL003",
+                        src.relpath,
+                        node.lineno,
+                        f"direct {tail}() construction outside "
+                        "repro.obs — use get_observability() (or "
+                        "NULL_TRACER) so the disabled path stays a "
+                        "shared null object",
+                    )
+                )
+        for node in _module_level_nodes(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            tail = chain.rsplit(".", 1)[-1]
+            if tail in _AMBIENT_CALLS:
+                violations.append(
+                    Violation(
+                        "RL003",
+                        src.relpath,
+                        node.lineno,
+                        f"module-level {tail}() call — observability "
+                        "must be resolved inside functions so imports "
+                        "stay side-effect free and configure() wins",
+                    )
+                )
+    return violations

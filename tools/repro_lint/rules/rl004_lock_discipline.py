@@ -1,0 +1,219 @@
+"""RL004 — lock discipline.
+
+For every class that creates a lock (``self._lock = threading.Lock()``
+or ``RLock()``), the set of *protected attributes* is inferred as the
+``self.*`` attributes mutated somewhere inside a ``with self._lock:``
+block.  Any other mutation of a protected attribute must also hold the
+lock — a bare write to state that elsewhere needs the lock is exactly
+the unserialised-shutdown class of race the scheduler/server fixes in
+PR 4/7 chased down.
+
+Recognised mutations: assignment / augmented assignment / ``del`` of
+``self.x``, ``self.x[...]``, and ``self.x.y``, plus calls to the usual
+container mutators (``self.x.append(...)``, ``.pop()``, ``.update()``,
+…).  ``queue.Queue``'s ``put``/``get`` are deliberately *not* mutators
+— the queue serialises itself, and hand-off outside the lock is the
+established shutdown idiom.
+
+Exemptions mirror repo conventions: ``__init__`` (object under
+construction, not yet shared) and methods whose name ends in
+``_locked`` (the caller-holds-the-lock helper convention, e.g.
+``_prune_jobs_locked``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_lint.core import (
+    Project,
+    Violation,
+    attr_chain,
+    register_rule,
+    self_attr,
+)
+
+_LOCK_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "Lock",
+    "RLock",
+    "Condition",
+}
+
+#: method names that mutate the common containers in place.
+_MUTATOR_METHODS = {
+    "append",
+    "appendleft",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+    "add",
+    "clear",
+    "pop",
+    "popleft",
+    "popitem",
+    "update",
+    "setdefault",
+    "sort",
+    "reverse",
+}
+
+
+def _mutated_self_attr(node: ast.AST) -> str | None:
+    """The ``self.X`` root of a mutation target, else ``None``.
+
+    Covers ``self.x``, ``self.x[...]`` and ``self.x.y`` targets.
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    direct = self_attr(node)
+    if direct is not None:
+        return direct
+    if isinstance(node, ast.Attribute):
+        return self_attr(node.value)
+    return None
+
+
+def _flatten_targets(target: ast.expr) -> list[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[ast.expr] = []
+        for elt in target.elts:
+            out.extend(_flatten_targets(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _flatten_targets(target.value)
+    return [target]
+
+
+class _MutationVisitor(ast.NodeVisitor):
+    """Collects ``(attr, lineno, locks_held)`` mutation records."""
+
+    def __init__(self, lock_attrs: set[str]):
+        self.lock_attrs = lock_attrs
+        self.lock_stack: list[str] = []
+        self.records: list[tuple[str, int, frozenset[str]]] = []
+
+    def _record(self, attr: str | None, lineno: int) -> None:
+        if attr is not None and attr not in self.lock_attrs:
+            self.records.append(
+                (attr, lineno, frozenset(self.lock_stack))
+            )
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        held = [
+            attr
+            for item in node.items
+            if (attr := self_attr(item.context_expr)) is not None
+            and attr in self.lock_attrs
+        ]
+        self.lock_stack.extend(held)
+        self.generic_visit(node)
+        del self.lock_stack[len(self.lock_stack) - len(held) :]
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            for leaf in _flatten_targets(target):
+                self._record(_mutated_self_attr(leaf), node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(_mutated_self_attr(node.target), node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record(_mutated_self_attr(node.target), node.lineno)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record(_mutated_self_attr(target), node.lineno)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATOR_METHODS
+        ):
+            self._record(
+                _mutated_self_attr(node.func.value), node.lineno
+            )
+        self.generic_visit(node)
+
+
+def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        attr = self_attr(node.targets[0])
+        if attr is None or not isinstance(node.value, ast.Call):
+            continue
+        chain = attr_chain(node.value.func)
+        if chain in _LOCK_FACTORIES:
+            locks.add(attr)
+    return locks
+
+
+@register_rule(
+    "RL004",
+    "lock discipline",
+    "In lock-owning classes, attributes mutated under the lock "
+    "anywhere must be mutated under it everywhere (except __init__ "
+    "and *_locked helpers).",
+)
+def check(project: Project) -> list[Violation]:
+    violations: list[Violation] = []
+    for src in project.python_sources("src"):
+        if src.tree is None:
+            continue
+        for cls in src.tree.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            locks = _lock_attrs(cls)
+            if not locks:
+                continue
+            per_method: dict[
+                str, list[tuple[str, int, frozenset[str]]]
+            ] = {}
+            for stmt in cls.body:
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                visitor = _MutationVisitor(locks)
+                visitor.visit(stmt)
+                per_method[stmt.name] = visitor.records
+            # protected attr -> the lock(s) seen guarding it
+            protected: dict[str, set[str]] = {}
+            for records in per_method.values():
+                for attr, _lineno, held in records:
+                    if held:
+                        protected.setdefault(attr, set()).update(held)
+            for method, records in per_method.items():
+                if method == "__init__" or method.endswith("_locked"):
+                    continue
+                for attr, lineno, held in records:
+                    guards = protected.get(attr)
+                    if guards and not (held & guards):
+                        lock_names = "/".join(
+                            f"self.{g}" for g in sorted(guards)
+                        )
+                        violations.append(
+                            Violation(
+                                "RL004",
+                                src.relpath,
+                                lineno,
+                                f"{cls.name}.{method} mutates "
+                                f"'{attr}' without holding "
+                                f"{lock_names} (other code paths "
+                                "mutate it under the lock)",
+                            )
+                        )
+    return violations

@@ -1,0 +1,119 @@
+"""RL005 — single-pass level-store contract.
+
+Every :class:`~repro.engine.level_store.LevelStore` implementation —
+direct subclasses and virtual registrations via
+``LevelStore.register(Cls)`` alike — must enforce the single-pass
+contract: calling ``stream*()`` twice, or ``append*()`` after a stream
+has started, raises ``LevelStoreError``.  The level loop's restart
+semantics (and the disk store's spill-file reuse) rely on stores
+failing loudly instead of silently yielding stale or truncated
+candidate lists.
+
+Mechanically: every public ``append*``/``stream*`` method on a store
+class must contain a ``raise LevelStoreError(...)`` somewhere in its
+body — the guard clause pattern all three shipped stores follow.
+Private helpers (``_stream``) are the post-guard implementation and are
+exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_lint.core import (
+    Project,
+    Violation,
+    attr_chain,
+    register_rule,
+)
+
+_BASE = "LevelStore"
+_ERROR = "LevelStoreError"
+
+
+def _is_store_method(name: str) -> bool:
+    if name.startswith("_"):
+        return False
+    return (
+        name == "append"
+        or name.startswith("append_")
+        or name == "stream"
+        or name.startswith("stream_")
+    )
+
+
+def _raises_store_error(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        chain = attr_chain(exc)
+        if chain is not None and chain.rsplit(".", 1)[-1] == _ERROR:
+            return True
+    return False
+
+
+@register_rule(
+    "RL005",
+    "single-pass store contract",
+    "Every LevelStore implementation's append*/stream* methods must "
+    "raise LevelStoreError to enforce single-pass streaming.",
+)
+def check(project: Project) -> list[Violation]:
+    sources = [
+        src for src in project.python_sources("src") if src.tree is not None
+    ]
+    # names registered virtually: LevelStore.register(Cls)
+    registered: set[str] = set()
+    for src in sources:
+        for node in ast.walk(src.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and attr_chain(node.func) is not None
+                and attr_chain(node.func).endswith(
+                    f"{_BASE}.register"
+                )
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+            ):
+                continue
+            registered.add(node.args[0].id)
+
+    violations: list[Violation] = []
+    for src in sources:
+        for cls in src.tree.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            direct = any(
+                (chain := attr_chain(base)) is not None
+                and chain.rsplit(".", 1)[-1] == _BASE
+                for base in cls.bases
+            )
+            if not direct and cls.name not in registered:
+                continue
+            if cls.name == _BASE:
+                continue  # the ABC itself defines the contract
+            for stmt in cls.body:
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if not _is_store_method(stmt.name):
+                    continue
+                if not _raises_store_error(stmt):
+                    violations.append(
+                        Violation(
+                            "RL005",
+                            src.relpath,
+                            stmt.lineno,
+                            f"{cls.name}.{stmt.name} never raises "
+                            f"{_ERROR} — the single-pass guard "
+                            "(double-stream / append-after-stream) "
+                            "is missing",
+                        )
+                    )
+    return violations
