@@ -19,7 +19,6 @@ from repro.core.generators import planted_partition
 from repro.engine import EnumerationConfig, EnumerationEngine
 from repro.parallel import (
     MachineSpec,
-    absolute_speedup,
     load_balance_stats,
     record_trace,
     simulate_processor_sweep,

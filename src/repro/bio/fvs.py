@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from collections import deque
 
-import numpy as np
 
 from repro.errors import ParameterError, SolverError
 from repro.core.graph import Graph

@@ -45,7 +45,6 @@ from repro.errors import ParameterError
 from repro.core import bitset as bs
 from repro.core.counters import IOStats, OpCounters
 from repro.core.graph import Graph
-from repro.core.kclique import enumerate_k_cliques
 from repro.core.sublist import CliqueSubList
 
 __all__ = [

@@ -236,7 +236,7 @@ class Graph:
             np.bitwise_and(acc, self.adj[v], out=acc)
         return BitSet(self.n, acc)
 
-    # -- derived graphs --------------------------------------------------------
+    # -- derived graphs -----------------------------------------------------
 
     def complement(self) -> "Graph":
         """Complement graph (no self loops)."""

@@ -21,7 +21,6 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.core import bitset as bs
 from repro.core.graph import Graph
 from repro.core.maximum_clique import maximum_clique
 

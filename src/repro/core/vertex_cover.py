@@ -29,7 +29,6 @@ mirrors how the FPT literature (and the paper) uses the parameter.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.errors import ParameterError, SolverError
 from repro.core.graph import Graph

@@ -64,7 +64,7 @@ from repro.engine.level_store import (
     MemoryLevelStore,
 )
 from repro.engine.level_loop import run_level_loop, seed_level
-from repro.engine import backends as _backends  # registers the built-ins
+from repro.engine import backends as _backends  # noqa: F401 (registers)
 from repro.engine.api import EnumerationEngine, run_enumeration
 
 __all__ = [

@@ -2,7 +2,7 @@
 
 Paper row (1 GHz PowerPC G4, 1 GB RAM)::
 
-    Graph Size  Edge Density  Maximal Clique Size  Kose RAM    Sequential  Speedup
+    Graph Size  Edge Density  Max Clique Size  Kose RAM    Sequential  Speedup
     12,422      0.008%        [3, 17]              17261 sec.  45 sec.     383
 
 This experiment reruns both algorithms on the scaled analog

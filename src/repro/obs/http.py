@@ -27,8 +27,9 @@ class _ScrapeHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path.split("?", 1)[0] == "/metrics":
             try:
-                body = self.server.render().encode("utf-8")  # type: ignore[attr-defined]
-            except Exception as exc:  # noqa: BLE001 - scrape must not kill the server
+                render = self.server.render  # type: ignore[attr-defined]
+                body = render().encode("utf-8")
+            except Exception as exc:  # noqa: BLE001 - keep serving
                 self.send_error(500, explain=f"{type(exc).__name__}: {exc}")
                 return
             self.send_response(200)

@@ -148,7 +148,7 @@ class LoadBalancer:
             item.remote = False
             loads[t] += item.estimate
 
-    # -- threshold rule --------------------------------------------------------
+    # -- threshold rule -----------------------------------------------------
 
     def threshold(self, total_load: float) -> float:
         """The reconstructed decision threshold (see module docstring)."""
@@ -158,7 +158,7 @@ class LoadBalancer:
             self.abs_floor_per_vertex * self.graph_size,
         )
 
-    # -- rebalancing -----------------------------------------------------------
+    # -- rebalancing --------------------------------------------------------
 
     def rebalance(self, items: list[WorkItem]) -> BalanceDecision:
         """Move items from heavy to light processors until balanced.

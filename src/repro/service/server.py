@@ -57,7 +57,8 @@ class _Handler(socketserver.StreamRequestHandler):
     """One thread per connection; one JSON request per line."""
 
     def handle(self) -> None:
-        server: EnumerationServer = self.server.enumeration_server  # type: ignore[attr-defined]
+        server: EnumerationServer
+        server = self.server.enumeration_server  # type: ignore[attr-defined]
         for raw in self.rfile:
             line = raw.strip()
             if not line:

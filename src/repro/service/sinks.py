@@ -236,7 +236,9 @@ def make_sink(spec: str) -> CliqueSink:
     anything else — including a missing argument.
     """
     if not isinstance(spec, str) or not spec:
-        raise ParameterError(f"sink spec must be a non-empty string, got {spec!r}")
+        raise ParameterError(
+            f"sink spec must be a non-empty string, got {spec!r}"
+        )
     name, arg = _parse(spec)
     if name == "collect" and arg is None:
         return CollectSink()

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import bitset as bs
-from repro.core.bitset import WORD_BITS, BitSet
+from repro.core.bitset import BitSet
 from repro.errors import BitSetError
 
 # ---------------------------------------------------------------------------

@@ -12,14 +12,11 @@ from repro.core.clique_enumerator import (
 )
 from repro.core.counters import OpCounters
 from repro.core.generators import (
-    barbell_graph,
     complete_graph,
-    cycle_graph,
     erdos_renyi,
     overlapping_cliques,
     path_graph,
     planted_clique,
-    star_graph,
 )
 from repro.core.graph import Graph
 from repro.core.memory_model import check_paper_recurrences

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.graph import Graph
-from repro.core.generators import complete_graph, erdos_renyi
+from repro.core.generators import complete_graph
 from repro.errors import GraphError
 
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.maximum_clique import maximum_clique_size
 from repro.experiments.workloads import (
-    INIT_K_MAP,
     mouse_brain_dense,
     mouse_brain_sparse,
     myogenic_like,

@@ -127,7 +127,8 @@ class TestThreshold:
 def test_rebalance_always_terminates_and_helps(p, estimates, owner_mod):
     lb = LoadBalancer(p, 10, abs_floor_per_vertex=0.0)
     items = [
-        WorkItem(item_id=i, estimate=e, true_work=e, owner=i % (owner_mod + 1) % p)
+        WorkItem(item_id=i, estimate=e, true_work=e,
+                 owner=i % (owner_mod + 1) % p)
         for i, e in enumerate(estimates)
     ]
     before = lb.loads(items)

@@ -28,7 +28,6 @@ from repro.core.generators import (
 from repro.core.graph import Graph
 from repro.engine import EnumerationConfig, EnumerationEngine
 from repro.parallel.thread_backend import (
-    DEFAULT_STEAL_GRANULARITY,
     ThreadedExpander,
     resolve_worker_count,
 )

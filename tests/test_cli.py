@@ -224,7 +224,8 @@ class TestStats:
 
         assert main(["stats", graph_file]) == 0
         out = capsys.readouterr().out
-        assert f"fingerprint:         {graph_fingerprint(barbell_graph(3))}" in out
+        fp = graph_fingerprint(barbell_graph(3))
+        assert f"fingerprint:         {fp}" in out
 
 
 class TestServiceCommands:

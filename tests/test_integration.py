@@ -8,7 +8,6 @@ metrics; file I/O round trips through the CLI-level API.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bio.coexpression import coexpression_pipeline

@@ -50,10 +50,14 @@ def check_record(record: object) -> list[str]:
         problems.append(f"kind {kind!r} is not one of {_KINDS}")
     if "ts" in record:
         if not isinstance(record["ts"], (int, float)) or record["ts"] < 0:
-            problems.append(f"ts {record['ts']!r} is not a non-negative number")
+            problems.append(
+                f"ts {record['ts']!r} is not a non-negative number"
+            )
     if "name" in record:
         if not isinstance(record["name"], str) or not record["name"]:
-            problems.append(f"name {record['name']!r} is not a non-empty string")
+            problems.append(
+                f"name {record['name']!r} is not a non-empty string"
+            )
     if "thread" in record and not isinstance(record["thread"], str):
         problems.append(f"thread {record['thread']!r} is not a string")
     if "depth" in record:
