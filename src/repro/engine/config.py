@@ -53,7 +53,7 @@ COMPUTE_DOMAINS = ("auto", "bitset", "wah")
 KERNELS = ("auto", "python", "numpy")
 
 
-def _stable_key(value: Any):
+def _stable_key(value: Any) -> tuple[str, object]:
     """An order-insensitive, hash/eq-consistent stand-in for ``value``.
 
     Containers whose equality crosses hashability lines are unified

@@ -23,6 +23,7 @@ service layers.
 from __future__ import annotations
 
 import time
+from typing import Any
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import rss_bytes
@@ -108,7 +109,7 @@ _DOMAIN_HELP = {
 }
 
 
-def fold_result(registry: MetricsRegistry, result) -> None:
+def fold_result(registry: MetricsRegistry, result: Any) -> None:
     """Add one finished run's telemetry into the registry's counters.
 
     ``result`` is an :class:`~repro.core.clique_enumerator.
@@ -215,7 +216,7 @@ def fold_result(registry: MetricsRegistry, result) -> None:
         ).set(balance.get("std_over_mean", 0.0))
 
 
-def fold_job(registry: MetricsRegistry, job) -> None:
+def fold_job(registry: MetricsRegistry, job: Any) -> None:
     """Fold one terminal :class:`~repro.service.jobs.Job` lifecycle.
 
     Counts the terminal status, observes queue/run latency, counts
@@ -244,7 +245,7 @@ def fold_job(registry: MetricsRegistry, job) -> None:
         fold_result(registry, job.result)
 
 
-def sample_service(registry: MetricsRegistry, scheduler) -> None:
+def sample_service(registry: MetricsRegistry, scheduler: Any) -> None:
     """Refresh the instantaneous gauges from live scheduler state.
 
     Called on every scrape (wire ``metrics`` op or the HTTP exporter),

@@ -17,6 +17,7 @@ from __future__ import annotations
 import threading
 from collections.abc import Callable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, cast
 
 from repro.obs.metrics import CONTENT_TYPE
 
@@ -47,7 +48,7 @@ class _ScrapeHandler(BaseHTTPRequestHandler):
         else:
             self.send_error(404, explain="try /metrics or /healthz")
 
-    def log_message(self, format: str, *args) -> None:
+    def log_message(self, format: str, *args: Any) -> None:
         """Scrapes are periodic background noise; keep stdout clean."""
 
 
@@ -69,7 +70,7 @@ class MetricsExporter:
         render: Callable[[], str],
         host: str = "127.0.0.1",
         port: int = 0,
-    ):
+    ) -> None:
         self._server = ThreadingHTTPServer((host, port), _ScrapeHandler)
         self._server.daemon_threads = True
         self._server.render = render  # type: ignore[attr-defined]
@@ -78,7 +79,7 @@ class MetricsExporter:
     @property
     def address(self) -> tuple[str, int]:
         """The bound ``(host, port)``."""
-        return self._server.server_address[:2]
+        return cast("tuple[str, int]", self._server.server_address[:2])
 
     @property
     def url(self) -> str:

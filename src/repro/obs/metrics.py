@@ -34,6 +34,8 @@ from __future__ import annotations
 import math
 import re
 import threading
+from collections.abc import Callable
+from typing import Any, TypeVar, cast
 
 from repro.errors import ParameterError
 
@@ -92,7 +94,13 @@ class _Family:
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str, labels: tuple[str, ...], lock):
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: tuple[str, ...],
+        lock: Any,  # any lock-like context manager (threading.RLock())
+    ) -> None:
         if not _NAME_RE.match(name):
             raise ParameterError(f"invalid metric name {name!r}")
         for label in labels:
@@ -106,7 +114,7 @@ class _Family:
         self._lock = lock
         self._samples: dict[tuple, float] = {}
 
-    def _key(self, label_values: dict) -> tuple:
+    def _key(self, label_values: dict[str, object]) -> tuple[str, ...]:
         if set(label_values) != set(self.labels):
             raise ParameterError(
                 f"metric {self.name!r} takes labels "
@@ -115,7 +123,7 @@ class _Family:
             )
         return tuple(str(label_values[n]) for n in self.labels)
 
-    def get(self, **label_values) -> float:
+    def get(self, **label_values: object) -> float:
         """Current value of one sample (0 when never touched)."""
         key = self._key(label_values)
         with self._lock:
@@ -136,12 +144,15 @@ class _Family:
             )
 
 
+_F = TypeVar("_F", bound=_Family)
+
+
 class Counter(_Family):
     """Monotonically increasing tally."""
 
     kind = "counter"
 
-    def inc(self, amount: float = 1, **label_values) -> None:
+    def inc(self, amount: float = 1, **label_values: object) -> None:
         """Add ``amount`` (must be >= 0) to one sample."""
         if amount < 0:
             raise ParameterError(
@@ -151,7 +162,7 @@ class Counter(_Family):
         with self._lock:
             self._samples[key] = self._samples.get(key, 0) + amount
 
-    def set_to(self, value: float, **label_values) -> None:
+    def set_to(self, value: float, **label_values: object) -> None:
         """Mirror an external monotone tally (e.g. cache hit counts).
 
         Moves the sample forward to ``value``; a value below the
@@ -173,18 +184,18 @@ class Gauge(_Family):
 
     kind = "gauge"
 
-    def set(self, value: float, **label_values) -> None:
+    def set(self, value: float, **label_values: object) -> None:
         """Set one sample to ``value``."""
         with self._lock:
             self._samples[self._key(label_values)] = value
 
-    def inc(self, amount: float = 1, **label_values) -> None:
+    def inc(self, amount: float = 1, **label_values: object) -> None:
         """Add ``amount`` (either sign) to one sample."""
         key = self._key(label_values)
         with self._lock:
             self._samples[key] = self._samples.get(key, 0) + amount
 
-    def set_max(self, value: float, **label_values) -> None:
+    def set_max(self, value: float, **label_values: object) -> None:
         """Raise one sample to ``value`` if it is below it (high-water)."""
         key = self._key(label_values)
         with self._lock:
@@ -202,7 +213,14 @@ class Histogram(_Family):
 
     kind = "histogram"
 
-    def __init__(self, name, help, labels, lock, buckets=DEFAULT_BUCKETS):
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: tuple[str, ...],
+        lock: Any,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
         super().__init__(name, help, labels, lock)
         bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds:
@@ -214,7 +232,7 @@ class Histogram(_Family):
         self._counts: dict[tuple, list[int]] = {}
         self._sums: dict[tuple, float] = {}
 
-    def observe(self, value: float, **label_values) -> None:
+    def observe(self, value: float, **label_values: object) -> None:
         """Record one observation."""
         key = self._key(label_values)
         with self._lock:
@@ -262,11 +280,18 @@ class MetricsRegistry:
     coordination); a conflicting redefinition raises.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.RLock()
         self._families: dict[str, _Family] = {}
 
-    def _get_or_create(self, cls, name, help, labels, **kwargs) -> _Family:
+    def _get_or_create(
+        self,
+        cls: Callable[..., _F],
+        name: str,
+        help: str,
+        labels: tuple[str, ...],
+        **kwargs: object,
+    ) -> _F:
         labels = tuple(labels)
         with self._lock:
             family = self._families.get(name)
@@ -276,10 +301,10 @@ class MetricsRegistry:
                         f"metric {name!r} already registered as "
                         f"{family.kind} with labels {family.labels}"
                     )
-                return family
-            family = cls(name, help, labels, self._lock, **kwargs)
-            self._families[name] = family
-            return family
+                return cast("_F", family)
+            created = cls(name, help, labels, self._lock, **kwargs)
+            self._families[name] = created
+            return created
 
     def counter(
         self, name: str, help: str, labels: tuple[str, ...] = ()

@@ -67,7 +67,7 @@ class Observability:
         trace_path: str | Path | None = None,
         ring_size: int = 4096,
         registry: MetricsRegistry | None = None,
-    ):
+    ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.metrics_on = bool(metrics)
         self.tracer: Tracer | NullTracer = (

@@ -33,6 +33,8 @@ import threading
 import time
 from collections import deque
 from pathlib import Path
+from types import TracebackType
+from typing import Any
 
 __all__ = [
     "REQUIRED_KEYS",
@@ -57,12 +59,14 @@ class Span:
 
     __slots__ = ("_tracer", "name", "fields", "_ts", "_t0", "_depth")
 
-    def __init__(self, tracer: "Tracer", name: str, fields: dict):
+    def __init__(
+        self, tracer: "Tracer", name: str, fields: dict[str, Any]
+    ) -> None:
         self._tracer = tracer
         self.name = name
         self.fields = fields
 
-    def set(self, **fields) -> None:
+    def set(self, **fields: Any) -> None:
         """Attach (or overwrite) payload fields."""
         self.fields.update(fields)
 
@@ -72,7 +76,12 @@ class Span:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         dur = time.perf_counter() - self._t0
         self._tracer._exit_depth()
         if exc_type is not None:
@@ -98,10 +107,10 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         pass
 
-    def set(self, **fields) -> None:
+    def set(self, **fields: Any) -> None:
         pass
 
 
@@ -114,11 +123,11 @@ class NullTracer:
 
     enabled = False
 
-    def span(self, name: str, **fields) -> _NullSpan:
+    def span(self, name: str, **fields: Any) -> _NullSpan:
         """Always the shared :data:`NULL_SPAN` — never a new object."""
         return NULL_SPAN
 
-    def event(self, name: str, **fields) -> None:
+    def event(self, name: str, **fields: Any) -> None:
         """Dropped."""
 
     def records(self, limit: int | None = None) -> list[dict]:
@@ -157,7 +166,7 @@ class Tracer:
         self,
         ring_size: int = 4096,
         jsonl_path: str | Path | None = None,
-    ):
+    ) -> None:
         self._ring: deque[dict] = deque(maxlen=max(1, ring_size))
         self._io_lock = threading.Lock()
         self._depth = threading.local()
@@ -180,11 +189,11 @@ class Tracer:
 
     # -- recording ----------------------------------------------------------
 
-    def span(self, name: str, **fields) -> Span:
+    def span(self, name: str, **fields: Any) -> Span:
         """A new span; activate it with ``with``."""
         return Span(self, name, fields)
 
-    def event(self, name: str, **fields) -> None:
+    def event(self, name: str, **fields: Any) -> None:
         """Record one point-in-time event."""
         self._record(
             {
