@@ -17,6 +17,7 @@ Run with the same harness as the other ``bench_*`` scripts::
 
 from __future__ import annotations
 
+from repro.core.memory_model import predict_profile
 from repro.engine import EnumerationConfig
 from repro.service import (
     EnumerationServer,
@@ -46,6 +47,35 @@ def bench_service_jobs_per_second(benchmark, myogenic):
     jobs = benchmark(run)
     benchmark.extra_info["jobs_per_round"] = len(jobs)
     benchmark.extra_info["n_cliques"] = jobs[0].sink_summary["cliques"]
+
+
+def bench_service_admission_budget(benchmark, myogenic):
+    """The same batch under a one-job memory budget: admission control
+    serialises the workers, so the gap to
+    :func:`bench_service_jobs_per_second` is the queue-wait cost of
+    running budget-constrained.  Extra-info records the deferral count
+    as evidence that the budget actually bit."""
+    g = myogenic.graph
+    cfg = EnumerationConfig(k_min=3)
+    # the scheduler's own submit-time prediction for this (graph,
+    # config): a budget of exactly one job forces every peer to defer
+    budget = predict_profile(g.n, g.m, cfg.k_min).peak_bytes("memory")
+
+    def run():
+        with JobScheduler(
+            workers=2, cache=None, memory_budget_bytes=budget
+        ) as sched:
+            sched.submit_batch([
+                JobSpec(graph=g, config=cfg, sink="count", use_cache=False)
+                for _ in range(BATCH)
+            ])
+            sched.drain()
+            return sched.stats()["admission"]
+
+    admission = benchmark(run)
+    benchmark.extra_info["budget_bytes"] = budget
+    benchmark.extra_info["deferred_total"] = admission["deferred_total"]
+    benchmark.extra_info["admitted_total"] = admission["admitted_total"]
 
 
 def bench_service_cache_miss(benchmark, myogenic):

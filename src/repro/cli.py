@@ -47,6 +47,7 @@ from repro.core.stats import summarize
 from repro.engine import (
     COMPUTE_DOMAINS,
     KERNELS,
+    LEVEL_STORE_AUTO,
     LEVEL_STORES,
     EnumerationConfig,
     EnumerationEngine,
@@ -101,12 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_enum.add_argument(
         "--level-store",
         default=None,
-        choices=LEVEL_STORES,
+        choices=(*LEVEL_STORES, LEVEL_STORE_AUTO),
         metavar="NAME",
         help=(
             "candidate-level storage substrate: %(choices)s "
             "(default: the backend's own; 'wah' holds levels "
-            "WAH-compressed to cut the memory peak on sparse graphs)"
+            "WAH-compressed to cut the memory peak on sparse graphs; "
+            "'auto' picks the cheapest substrate whose memory-model "
+            "predicted peak fits the available memory)"
         ),
     )
     p_enum.add_argument(
@@ -206,6 +209,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache entries, 0 disables (default: %(default)s)",
     )
     p_serve.add_argument(
+        "--memory-budget", default=None, metavar="SIZE",
+        help=(
+            "admission-control memory budget, e.g. 512M or 2GB: "
+            "workers only claim a job when its memory-model predicted "
+            "peak fits next to the jobs already running (default: no "
+            "admission control)"
+        ),
+    )
+    p_serve.add_argument(
         "--metrics", nargs="?", const=True, default=None,
         metavar="PORT",
         help=(
@@ -243,9 +255,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_submit.add_argument("--jobs", type=int, default=None, metavar="N")
     p_submit.add_argument(
-        "--level-store", default=None, choices=LEVEL_STORES,
+        "--level-store", default=None,
+        choices=(*LEVEL_STORES, LEVEL_STORE_AUTO),
         metavar="NAME",
-        help="candidate-level storage substrate (default: backend's own)",
+        help=(
+            "candidate-level storage substrate (default: backend's "
+            "own; 'auto' lets the service pick the cheapest one whose "
+            "predicted peak fits its memory budget)"
+        ),
     )
     p_submit.add_argument(
         "--compute-domain", default="auto", choices=COMPUTE_DOMAINS,
@@ -480,6 +497,7 @@ def _cmd_convert(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.core.memory_model import parse_byte_size
     from repro.service import serve
 
     # --metrics alone enables the plane (wire-op scrapes only);
@@ -487,12 +505,18 @@ def _cmd_serve(args) -> int:
     metrics_port = None
     if args.metrics is not None and args.metrics is not True:
         metrics_port = int(args.metrics)
+    budget = (
+        parse_byte_size(args.memory_budget)
+        if args.memory_budget is not None
+        else None
+    )
     serve(
         host=args.host,
         port=args.port,
         socket_path=args.socket,
         workers=args.workers,
         cache_size=args.cache_size,
+        memory_budget_bytes=budget,
         metrics=args.metrics is not None,
         metrics_port=metrics_port,
         trace_path=args.trace,

@@ -43,11 +43,13 @@ from repro.core.counters import IOStats, OpCounters
 from repro.engine.config import (
     COMPUTE_DOMAINS,
     KERNELS,
+    LEVEL_STORE_AUTO,
     LEVEL_STORES,
     EnumerationConfig,
     resolve_compute_domain,
     resolve_for_backend,
     resolve_kernel,
+    resolve_level_store,
 )
 from repro.engine.registry import (
     BackendInfo,
@@ -86,6 +88,8 @@ __all__ = [
     "available_backends",
     "backend_table",
     "LEVEL_STORES",
+    "LEVEL_STORE_AUTO",
+    "resolve_level_store",
     "LevelStore",
     "MemoryLevelStore",
     "DiskLevelStore",

@@ -17,10 +17,16 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable
+from dataclasses import replace
 
 from repro.core.clique_enumerator import EnumerationResult
 from repro.core.graph import Graph
-from repro.engine.config import EnumerationConfig, resolve_for_backend
+from repro.engine.config import (
+    LEVEL_STORE_AUTO,
+    EnumerationConfig,
+    resolve_for_backend,
+    resolve_level_store,
+)
 from repro.engine.registry import (
     BackendInfo,
     available_backends,
@@ -77,10 +83,19 @@ class EnumerationEngine:
         :func:`~repro.engine.config.resolve_for_backend`, so the
         service's submit-time validation raises the identical
         :class:`~repro.errors.ConfigError` — before any work starts.
+        A ``level_store="auto"`` is resolved here against the graph
+        and the machine's available memory
+        (:func:`~repro.engine.config.resolve_level_store`); jobs going
+        through the service resolve against its configured budget
+        instead, before dispatch reaches this method.
         """
         cfg = config if config is not None else self.config
         info = get_backend(cfg.backend)
         cfg = resolve_for_backend(cfg, info)
+        if cfg.level_store == LEVEL_STORE_AUTO:
+            cfg = replace(
+                cfg, level_store=resolve_level_store(cfg, g, info)
+            )
         t0 = time.perf_counter()
         result = info.runner(g, cfg, on_clique)
         result.wall_seconds = time.perf_counter() - t0

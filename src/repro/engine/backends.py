@@ -87,6 +87,12 @@ def _store_policy(
     uses it to pick its (byte-identical) batched or per-entry codec.
     """
     name = config.level_store or default
+    if name == "auto":
+        raise ParameterError(
+            "level_store='auto' must be resolved before a runner is "
+            "called — dispatch through EnumerationEngine.run (or the "
+            "job service), which picks the concrete substrate"
+        )
     if name == "memory":
         return MemoryLevelStore, None, set()
     if name == "wah":

@@ -21,9 +21,11 @@ from repro.errors import ConfigError, ParameterError
 __all__ = [
     "EnumerationConfig",
     "LEVEL_STORES",
+    "LEVEL_STORE_AUTO",
     "COMPUTE_DOMAINS",
     "KERNELS",
     "resolve_for_backend",
+    "resolve_level_store",
     "resolve_compute_domain",
     "resolve_kernel",
 ]
@@ -33,6 +35,16 @@ __all__ = [
 #: (:class:`~repro.core.out_of_core.DiskLevelStore`), ``"wah"``
 #: (:class:`~repro.engine.level_store.CompressedLevelStore`).
 LEVEL_STORES = ("memory", "disk", "wah")
+
+#: the additional ``level_store`` policy value: pick the cheapest
+#: concrete substrate whose *predicted* peak (:func:`repro.core.
+#: memory_model.predict_profile`) fits the memory budget, preferring
+#: ``memory`` over ``wah`` over ``disk``.  Resolved per run against
+#: the graph — by :func:`resolve_level_store` via the engine facade,
+#: or by the job scheduler against its configured budget — so it is
+#: deliberately *not* part of :data:`LEVEL_STORES`: backends advertise
+#: and run only concrete substrates.
+LEVEL_STORE_AUTO = "auto"
 
 #: the word representations a generation step may run on:
 #: ``"bitset"`` (raw ``uint64`` word arrays, the historical hot path),
@@ -118,9 +130,12 @@ class EnumerationConfig:
         silently ignoring it.
     level_store:
         Storage substrate for candidate levels: one of
-        :data:`LEVEL_STORES` (``"memory"``, ``"disk"``, ``"wah"``), or
-        ``None`` for the backend's default (memory for
-        ``incore``/``bitscan``, disk for ``ooc``).  Backends that do
+        :data:`LEVEL_STORES` (``"memory"``, ``"disk"``, ``"wah"``),
+        :data:`LEVEL_STORE_AUTO` (``"auto"`` — the cheapest advertised
+        substrate whose predicted peak fits the memory budget,
+        resolved per run), or ``None`` for the backend's default
+        (memory for ``incore``/``bitscan``, disk for ``ooc``).
+        Backends that do
         not run the shared level loop reject substrates they cannot
         honour rather than silently ignoring the policy.  Part of the
         config's equality/hash, so the service result cache can never
@@ -197,12 +212,13 @@ class EnumerationConfig:
             raise ParameterError(f"jobs must be >= 1, got {self.jobs}")
         if (
             self.level_store is not None
+            and self.level_store != LEVEL_STORE_AUTO
             and self.level_store not in LEVEL_STORES
         ):
             raise ParameterError(
                 f"level_store must be one of {', '.join(LEVEL_STORES)} "
-                f"(or None for the backend default), got "
-                f"{self.level_store!r}"
+                f"or {LEVEL_STORE_AUTO!r} (or None for the backend "
+                f"default), got {self.level_store!r}"
             )
         if self.compute_domain not in COMPUTE_DOMAINS:
             raise ParameterError(
@@ -277,7 +293,15 @@ def resolve_for_backend(
     config, with ``k_min`` promoted to the backend's ``min_k_min``
     floor when needed.
     """
-    if (
+    if config.level_store == LEVEL_STORE_AUTO:
+        if not info.level_stores:
+            # a backend that manages its own storage has nothing for
+            # the auto policy to choose between — its default *is* the
+            # resolution, exactly as a None level_store would be
+            return resolve_for_backend(
+                replace(config, level_store=None), info
+            )
+    elif (
         config.level_store is not None
         and config.level_store not in info.level_stores
     ):
@@ -307,6 +331,74 @@ def resolve_for_backend(
     if config.k_min < info.min_k_min:
         return replace(config, k_min=info.min_k_min)
     return config
+
+
+#: substrate preference of the auto policy: raw in-memory candidates
+#: are fastest, WAH compression cuts the peak ~5.2x at modest CPU
+#: cost, and the disk spill bounds residency at streaming speed.
+_AUTO_STORE_PREFERENCE = ("memory", "wah", "disk")
+
+
+def resolve_level_store(
+    config: "EnumerationConfig",
+    g: Any,
+    info: Any,
+    budget_bytes: int | None = None,
+    *,
+    predicted: Any = None,
+) -> str:
+    """The concrete substrate a ``level_store="auto"`` run executes on.
+
+    Forward-runs the paper recurrences (:func:`repro.core.memory_model.
+    predict_profile`) on the graph's ``(n, m)`` and picks the first
+    substrate in memory → wah → disk order that the backend advertises
+    *and* whose predicted peak fits ``budget_bytes``.  With no budget
+    given, the machine's currently available memory is used; when even
+    that is unknown, or nothing fits, the cheapest advertised substrate
+    (the last preference) wins — the disk spill always "fits" in the
+    sense that its residency barely grows with the level.
+
+    ``g`` needs ``n``/``m`` attributes, plus the adjacency bitmap when
+    ``k_min <= 2`` (for the exact seed count that sharpens the 2→3
+    recurrence transition — skipped for duck-typed graphs without
+    ``adj``); ``info`` is the backend's
+    :class:`~repro.engine.registry.BackendInfo`.  A caller that has
+    already run the model (the job scheduler predicts for admission
+    control anyway) passes its
+    :class:`~repro.core.memory_model.PredictedProfile` as ``predicted``
+    to skip the recomputation.
+    """
+    from repro.core.memory_model import (
+        available_memory_bytes,
+        predict_profile,
+        seed_sublist_count,
+    )
+
+    advertised = [
+        s for s in _AUTO_STORE_PREFERENCE if s in info.level_stores
+    ]
+    if not advertised:
+        raise ConfigError(
+            f"backend {config.backend!r} advertises no level stores; "
+            "level_store='auto' needs at least one to choose from"
+        )
+    if budget_bytes is None:
+        budget_bytes = available_memory_bytes()
+    if budget_bytes is None:
+        return advertised[0]
+    if predicted is None:
+        seeds = (
+            seed_sublist_count(g)
+            if config.k_min <= 2 and hasattr(g, "adj")
+            else None
+        )
+        predicted = predict_profile(
+            g.n, g.m, config.k_min, seeds, k_max=config.k_max
+        )
+    for store in advertised:
+        if predicted.peak_bytes(store) <= budget_bytes:
+            return store
+    return advertised[-1]
 
 
 def resolve_compute_domain(

@@ -67,6 +67,7 @@ METRIC_NAMES = (
     "repro_job_queued_seconds",
     "repro_job_run_seconds",
     "repro_cache_replayed_jobs_total",
+    "repro_predicted_peak_bytes",
     # scrape samples (sample_service)
     "repro_workers",
     "repro_queue_depth",
@@ -75,6 +76,10 @@ METRIC_NAMES = (
     "repro_cache_hits_total",
     "repro_cache_misses_total",
     "repro_cache_evictions_total",
+    "repro_admission_budget_bytes",
+    "repro_admission_bytes_in_use",
+    "repro_admission_admitted_total",
+    "repro_admission_deferred_total",
     "repro_uptime_seconds",
     "repro_rss_bytes",
 )
@@ -243,6 +248,14 @@ def fold_job(registry: MetricsRegistry, job: Any) -> None:
         ).inc()
     elif job.result is not None:
         fold_result(registry, job.result)
+    predicted = getattr(job, "predicted_peak_bytes", None)
+    if predicted:
+        registry.gauge(
+            "repro_predicted_peak_bytes",
+            "Largest memory-model admission prediction among finished "
+            "jobs (compare against repro_peak_candidate_bytes, the "
+            "measured peak it must bound).",
+        ).set_max(predicted)
 
 
 def sample_service(registry: MetricsRegistry, scheduler: Any) -> None:
@@ -277,6 +290,25 @@ def sample_service(registry: MetricsRegistry, scheduler: Any) -> None:
         registry.counter(
             "repro_cache_evictions_total", "Result-cache evictions."
         ).set_to(cache["evictions"])
+    admission = stats.get("admission")
+    if admission is not None:
+        registry.gauge(
+            "repro_admission_budget_bytes",
+            "Configured admission-control memory budget (0 when none).",
+        ).set(admission["budget_bytes"] or 0)
+        registry.gauge(
+            "repro_admission_bytes_in_use",
+            "Predicted bytes charged by the jobs currently admitted.",
+        ).set(admission["admitted_bytes"])
+        registry.counter(
+            "repro_admission_admitted_total",
+            "Jobs admitted past the memory-budget check.",
+        ).set_to(admission["admitted_total"])
+        registry.counter(
+            "repro_admission_deferred_total",
+            "Deferral events: claims re-queued because the predicted "
+            "peak did not fit the remaining budget.",
+        ).set_to(admission["deferred_total"])
     started = getattr(scheduler, "started_at", None)
     if started is not None:
         registry.gauge(

@@ -130,11 +130,16 @@ class ResultCache:
 
     def fold_into(self, counters: OpCounters) -> None:
         """Add the cache tallies to an :class:`OpCounters` ``extra``."""
-        for name, value in (
-            ("cache_hits", self.hits),
-            ("cache_misses", self.misses),
-            ("cache_evictions", self.evictions),
-        ):
+        # snapshot the three tallies under the lock: a worker bumping
+        # them mid-read would fold a torn (hits from before, misses
+        # from after) view into the report
+        with self._lock:
+            tallies = (
+                ("cache_hits", self.hits),
+                ("cache_misses", self.misses),
+                ("cache_evictions", self.evictions),
+            )
+        for name, value in tallies:
             counters.extra[name] = counters.extra.get(name, 0) + value
 
     def stats(self) -> dict:
@@ -154,7 +159,9 @@ class ResultCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries

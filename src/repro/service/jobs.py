@@ -132,6 +132,19 @@ class Job:
         self.error: str | None = None
         self.cache_hit = False
         self.sink_summary: dict | None = None
+        # admission-control view, set by the scheduler at submit: the
+        # memory-model peak the job is charged against the budget, and
+        # the spec config with a level_store="auto" resolved to the
+        # concrete substrate the run will execute on (the cache key
+        # and the engine dispatch both use the resolved config, so an
+        # "auto" job can never conflate cache entries across
+        # substrates).  Both stay at their defaults on schedulers
+        # without a budget/prediction (e.g. direct Job construction).
+        self.predicted_peak_bytes: int | None = None
+        self.resolved_config = spec.config
+        # bytes currently charged against the scheduler's budget;
+        # nonzero exactly while the job is admitted (claim -> terminal)
+        self._admitted_bytes = 0
         self.created_at = time.time()
         self.started_at: float | None = None
         self.finished_at: float | None = None
@@ -198,7 +211,10 @@ class Job:
             "sink": self.spec.sink,
             "priority": self.spec.priority,
             "backend": self.spec.config.backend,
-            "level_store": self.spec.config.level_store,
+            # the substrate the run executes on (an "auto" submission
+            # shows the scheduler's resolution; the spec's value until
+            # one happens)
+            "level_store": self.resolved_config.level_store,
             "compute_domain": self.spec.config.compute_domain,
             "kernel": self.spec.config.kernel,
             "cache_hit": self.cache_hit,
@@ -206,6 +222,9 @@ class Job:
             "queued_seconds": self.queued_seconds,
             "run_seconds": self.run_seconds,
             "sink_summary": self.sink_summary,
+            # memory-model admission evidence: what the job was
+            # charged against the budget vs what the run measured
+            "predicted_peak_bytes": self.predicted_peak_bytes,
         }
         if self.result is not None:
             out["counters"] = self.result.counters.snapshot()
@@ -224,6 +243,10 @@ class Job:
             # measured Figure 8 evidence (threads backend); None for
             # sequential or too-narrow runs
             out["load_balance"] = self.result.load_balance
+            out["measured_peak_bytes"] = max(
+                (ls.candidate_bytes for ls in self.result.level_stats),
+                default=0,
+            )
             out["n_cliques"] = (
                 self.sink_summary["cliques"]
                 if self.sink_summary

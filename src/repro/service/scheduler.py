@@ -18,6 +18,18 @@ entirely.  Only ``collect`` jobs *populate* the cache (their results
 carry the cliques a replay needs); streaming-sink jobs exist to avoid
 materializing output, so they are never forced to collect just to warm
 the cache.
+
+Admission control: with a ``memory_budget_bytes``, every submission
+gets a predicted candidate-storage peak from the memory model's
+forward recurrences (:func:`~repro.core.memory_model.predict_profile`)
+and a worker only claims a job when that prediction fits the budget
+remaining after the jobs already in flight — otherwise the job is
+*deferred* and re-queued when any in-flight job reaches a terminal
+state (which is when budget frees).  A job predicted over the whole
+budget still runs once nothing else is admitted, so a single oversized
+job degrades to serial execution instead of deadlocking the queue.  A
+``level_store="auto"`` submission is resolved here, against the same
+budget, to the cheapest substrate whose prediction fits.
 """
 
 from __future__ import annotations
@@ -35,7 +47,10 @@ from repro.errors import BudgetExceeded, ParameterError, ReproError
 from repro.core.counters import OpCounters
 from repro.core.graph import Graph
 from repro.core.graph_io import graph_fingerprint, load as load_graph
+from repro.core.memory_model import predict_profile, seed_sublist_count
 from repro.engine.api import EnumerationEngine
+from repro.engine.config import LEVEL_STORE_AUTO, resolve_level_store
+from repro.engine.registry import get_backend
 from repro.obs.bridge import fold_job, sample_service
 from repro.obs.runtime import Observability, get_observability
 from repro.service.cache import ResultCache
@@ -85,6 +100,15 @@ class JobScheduler:
         are never pruned.
     graph_cache_size:
         LRU bound on the (path, mtime)-keyed memo of loaded graphs.
+    memory_budget_bytes:
+        Machine memory budget for admission control, or ``None`` (the
+        default) to admit every job immediately.  With a budget,
+        workers claim a job only when its predicted candidate-storage
+        peak fits next to the jobs already running; ``0`` is legal and
+        serialises every predicted-nonzero job.  The budget also feeds
+        ``level_store="auto"`` resolution (without one, the machine's
+        currently available memory is used for that resolution
+        instead).
     obs:
         An explicit :class:`~repro.obs.runtime.Observability` plane to
         report into; unset, the process-wide ambient plane is resolved
@@ -107,6 +131,7 @@ class JobScheduler:
         engine: EnumerationEngine | None = None,
         retain_jobs: int = 1024,
         graph_cache_size: int = 16,
+        memory_budget_bytes: int | None = None,
         obs: Observability | None = None,
     ):
         if workers < 1:
@@ -119,6 +144,11 @@ class JobScheduler:
             raise ParameterError(
                 f"graph_cache_size must be >= 1, got {graph_cache_size}"
             )
+        if memory_budget_bytes is not None and memory_budget_bytes < 0:
+            raise ParameterError(
+                "memory_budget_bytes must be >= 0, got "
+                f"{memory_budget_bytes}"
+            )
         self.engine = engine if engine is not None else EnumerationEngine()
         self.cache = (
             ResultCache() if cache is self._DEFAULT_CACHE else cache
@@ -126,6 +156,7 @@ class JobScheduler:
         self.n_workers = workers
         self.retain_jobs = retain_jobs
         self.graph_cache_size = graph_cache_size
+        self.memory_budget_bytes = memory_budget_bytes
         self.started_at = time.time()
         # pinned plane, or the ambient one resolved per use (so a test
         # configuring observability after construction is still seen)
@@ -138,9 +169,18 @@ class JobScheduler:
         self._graphs: OrderedDict[
             tuple[str, int], tuple[Graph, str]
         ] = OrderedDict()
-        self._lock = threading.Lock()
+        # re-entrant: the terminal hook releases admission budget (and
+        # cancel() reaches it while already holding the lock)
+        self._lock = threading.RLock()
         self._seq = itertools.count(1)
         self._accepting = True
+        # admission state, all guarded by _lock: bytes charged by the
+        # jobs currently admitted, cumulative admit/defer tallies, and
+        # the deferred (queue key, job) entries waiting for budget
+        self._admitted_bytes = 0
+        self._admitted_total = 0
+        self._deferred_total = 0
+        self._deferred: list[tuple[tuple, Job]] = []
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"enum-worker-{i}", daemon=True
@@ -153,7 +193,18 @@ class JobScheduler:
     # -- submission ----------------------------------------------------------
 
     def submit(self, spec: JobSpec) -> Job:
-        """Queue one job; returns its :class:`Job` record immediately."""
+        """Queue one job; returns its :class:`Job` record immediately.
+
+        Submission is where the memory model runs: the job's predicted
+        candidate-storage peak is computed here (and charged against
+        the budget when a worker claims it), and a
+        ``level_store="auto"`` spec is resolved to the concrete
+        substrate the prediction says fits.  Both ride on the job
+        record — :meth:`Job.to_dict` reports predicted vs measured.
+        """
+        # predict outside the lock: a path-referenced graph loads (and
+        # memoizes) here, which must not stall concurrent submitters
+        predicted, resolved = self._predict_spec(spec)
         with self._lock:
             if not self._accepting:
                 raise ParameterError(
@@ -161,6 +212,8 @@ class JobScheduler:
                 )
             seq = next(self._seq)
             job = Job(f"job-{seq:06d}", spec)
+            job.predicted_peak_bytes = predicted
+            job.resolved_config = resolved
             job._on_terminal = self._fold_terminal
             self._jobs[job.id] = job
             self._prune_jobs_locked()
@@ -190,6 +243,95 @@ class JobScheduler:
     def submit_batch(self, specs: list[JobSpec]) -> list[Job]:
         """Queue many jobs at once (a sweep); returns their records."""
         return [self.submit(spec) for spec in specs]
+
+    def _predict_spec(self, spec: JobSpec):
+        """``(predicted peak bytes | None, resolved config)`` for a spec.
+
+        Runs the memory-model forward recurrences on the spec's graph
+        and resolves a ``level_store="auto"`` against the scheduler's
+        budget (falling back to the machine's available memory when no
+        budget is configured).  A graph that fails to load predicts
+        ``None`` — the job is admitted uncharged and fails at dispatch
+        with the real load error, exactly as it did before admission
+        control existed.
+        """
+        config = spec.config
+        try:
+            g, _ = self._resolve_graph(spec.graph)
+        except (ReproError, OSError):
+            return None, config
+        info = get_backend(config.backend)
+        seeds = (
+            seed_sublist_count(g) if config.k_min <= 2 else None
+        )
+        predicted = predict_profile(
+            g.n, g.m, config.k_min, seeds, k_max=config.k_max
+        )
+        if config.level_store == LEVEL_STORE_AUTO:
+            store = resolve_level_store(
+                config,
+                g,
+                info,
+                self.memory_budget_bytes,
+                predicted=predicted,
+            )
+            config = replace(config, level_store=store)
+        # no explicit store -> the backend's default substrate (always
+        # "memory" or "disk" per BackendInfo.storage)
+        effective = config.level_store or info.storage
+        return predicted.peak_bytes(effective), config
+
+    def _admit_locked(self, key: tuple, job: Job) -> bool:
+        """Claim-time admission check; caller holds ``_lock``.
+
+        Charges the job's predicted peak against the budget and admits
+        it, or defers it (recording its queue key for the re-queue on
+        the next terminal transition).  Admission never defers when
+        nothing is currently admitted: an over-budget singleton runs
+        alone rather than deadlocking — the budget then degrades to
+        one-job-at-a-time serialisation.
+        """
+        cost = job.predicted_peak_bytes or 0
+        budget = self.memory_budget_bytes
+        if (
+            budget is not None
+            and cost > 0
+            and self._admitted_bytes > 0
+            and self._admitted_bytes + cost > budget
+        ):
+            self._deferred.append((key, job))
+            self._deferred_total += 1
+            return False
+        job._admitted_bytes = cost
+        self._admitted_bytes += cost
+        self._admitted_total += 1
+        return True
+
+    def _release_admission(self, job: Job) -> None:
+        """Return a terminal job's budget charge and wake deferred work.
+
+        Every deferred entry is re-queued (their keys still sort ahead
+        of shutdown sentinels, so a draining shutdown completes them);
+        a worker re-defers whatever still does not fit.  Deferral only
+        ever happens while something is admitted, so there is always a
+        coming terminal transition to re-queue against — no lost
+        wake-ups.
+        """
+        with self._lock:
+            released = job._admitted_bytes
+            job._admitted_bytes = 0
+            if not released:
+                # nothing charged, nothing freed: an uncharged terminal
+                # cannot unblock deferred work, and deferral only ever
+                # happens while some *charged* job is in flight — its
+                # own release re-queues, so no wake-up is lost
+                return
+            self._admitted_bytes = max(0, self._admitted_bytes - released)
+            if self._deferred:
+                requeue, self._deferred = self._deferred, []
+                for key, deferred in requeue:
+                    if not deferred.done:
+                        self._queue.put((key, deferred))
 
     # -- observation ---------------------------------------------------------
 
@@ -221,14 +363,26 @@ class JobScheduler:
         return agg
 
     def stats(self) -> dict:
-        """Queue depth, per-status counts, and cache stats."""
+        """Queue depth, per-status counts, admission, and cache stats."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+            admission = {
+                "budget_bytes": self.memory_budget_bytes,
+                "admitted_bytes": self._admitted_bytes,
+                "admitted_total": self._admitted_total,
+                "deferred_total": self._deferred_total,
+            }
         by_status: dict[str, int] = {s.value: 0 for s in JobStatus}
-        for job in self.jobs():
+        for job in jobs:
             by_status[job.status.value] += 1
         return {
             "workers": self.n_workers,
-            "queued": self._queue.qsize(),
+            # jobs actually waiting to run (deferred ones included) —
+            # the raw queue size also counts shutdown sentinels and
+            # stale entries for already-cancelled jobs
+            "queued": by_status[JobStatus.PENDING.value],
             "jobs": by_status,
+            "admission": admission,
             "uptime_seconds": time.time() - self.started_at,
             "cache": self.cache.stats() if self.cache is not None else None,
         }
@@ -261,14 +415,19 @@ class JobScheduler:
         running (the next emission aborts it).  Returns False when the
         job is already terminal."""
         job = self.get(job_id)
+        # both branches under the lock: every terminal transition also
+        # happens under it (workers finish through _finish_job), so a
+        # RUNNING observed here is still RUNNING when the flag is set —
+        # checked outside, the job could finish DONE in between and
+        # cancel would claim success against a terminal job
         with self._lock:
             if job.status is JobStatus.PENDING:
                 job._cancel.set()
                 job._finish(JobStatus.CANCELLED)
                 return True
-        if job.status is JobStatus.RUNNING:
-            job._cancel.set()
-            return True
+            if job.status is JobStatus.RUNNING:
+                job._cancel.set()
+                return True
         return False
 
     def drain(self, timeout: float | None = None) -> None:
@@ -321,15 +480,19 @@ class JobScheduler:
 
     def _worker(self) -> None:
         while True:
-            _, job = self._queue.get()
+            key, job = self._queue.get()
             if job is None:
                 return
             # claim PENDING -> RUNNING under the same lock cancel()
             # holds, so a pending cancellation and a worker pickup can
-            # never both win the job
+            # never both win the job; the admission check rides the
+            # same critical section, so two workers can never both
+            # charge the last of the budget
             with self._lock:
                 if job.done:  # cancelled while pending
                     continue
+                if not self._admit_locked(key, job):
+                    continue  # deferred; re-queued when budget frees
                 job._mark_running()
             self._run_job(job)
 
@@ -361,13 +524,16 @@ class JobScheduler:
         return entry
 
     def _fold_terminal(self, job: Job) -> None:
-        """Job terminal-transition hook: fold its metrics.
+        """Job terminal-transition hook: free budget, fold metrics.
 
         Runs inside :meth:`Job._finish` *before* waiters wake, so a
         client returning from ``wait()`` and scraping immediately
         always sees the finished job's counters — the round trip the
-        acceptance test pins.
+        acceptance test pins.  Budget release comes first: a waiter
+        unblocked by this job may immediately submit a successor that
+        should see the freed headroom.
         """
+        self._release_admission(job)
         obs = self.obs
         if obs.metrics_on:
             fold_job(obs.registry, job)
@@ -396,8 +562,27 @@ class JobScheduler:
         else:
             self._dispatch_job(job)
 
+    def _finish_job(
+        self, job: Job, status: JobStatus, error: str | None = None
+    ) -> None:
+        """Move a claimed job to a terminal state, under the lock.
+
+        Every worker-side terminal transition routes through here so it
+        is serialized against :meth:`cancel`'s status check — without
+        the lock, cancel could observe RUNNING an instant before the
+        worker finishes and claim a cancellation the job never saw.
+        """
+        with self._lock:
+            if job.done:
+                return
+            job._finish(status, error)
+
     def _dispatch_job(self, job: Job) -> None:
-        # the worker loop already claimed the job (status RUNNING)
+        # the worker loop already claimed the job (status RUNNING).
+        # cache keying and the engine dispatch both use the *resolved*
+        # config: an "auto" submission must hit/populate the entry of
+        # the concrete substrate it runs on
+        config = job.resolved_config
         sink = None
         try:
             g, fingerprint = self._resolve_graph(job.spec.graph)
@@ -412,7 +597,7 @@ class JobScheduler:
             if cacheable and fingerprint is None:
                 fingerprint = graph_fingerprint(g)
             if cacheable:
-                cached = self.cache.get(fingerprint, job.spec.config)
+                cached = self.cache.get(fingerprint, config)
                 if cached is not None:
                     for clique in cached.cliques:
                         emit(clique)
@@ -435,10 +620,10 @@ class JobScheduler:
                         if isinstance(sink, CollectSink)
                         else replace(cached, cliques=[])
                     )
-                    job._finish(JobStatus.DONE)
+                    self._finish_job(job, JobStatus.DONE)
                     return
 
-            result = self.engine.run(g, job.spec.config, on_clique=emit)
+            result = self.engine.run(g, config, on_clique=emit)
             # emit() only sees the cancel flag when cliques flow; a
             # run with no (further) emissions must still honour a
             # cancellation acknowledged while it was RUNNING — and
@@ -450,25 +635,26 @@ class JobScheduler:
                 # and what a future cache hit replays
                 result.cliques = sink.cliques
                 if cacheable:
-                    self.cache.put(fingerprint, job.spec.config, result)
+                    self.cache.put(fingerprint, config, result)
             sink.close()
             # summary before result — see the cache-hit branch above
             job.sink_summary = sink.summary()
             job.result = result
-            job._finish(JobStatus.DONE)
+            self._finish_job(job, JobStatus.DONE)
         except _Cancelled:
-            job._finish(JobStatus.CANCELLED)
+            self._finish_job(job, JobStatus.CANCELLED)
         except BudgetExceeded as exc:
-            job._finish(
+            self._finish_job(
+                job,
                 JobStatus.FAILED,
                 f"budget exceeded: {exc} "
                 f"(emitted={exc.emitted}, level={exc.level})",
             )
         except (ReproError, OSError) as exc:
-            job._finish(JobStatus.FAILED, str(exc))
+            self._finish_job(job, JobStatus.FAILED, str(exc))
         except Exception as exc:  # noqa: BLE001 — a worker must survive
-            job._finish(
-                JobStatus.FAILED, f"{type(exc).__name__}: {exc}"
+            self._finish_job(
+                job, JobStatus.FAILED, f"{type(exc).__name__}: {exc}"
             )
         finally:
             # a sink still open here belongs to a failed/cancelled run:

@@ -368,6 +368,7 @@ def serve(
     socket_path: str | Path | None = None,
     workers: int = 2,
     cache_size: int = 128,
+    memory_budget_bytes: int | None = None,
     metrics: bool = False,
     metrics_port: int | None = None,
     trace_path: str | Path | None = None,
@@ -376,6 +377,10 @@ def serve(
 
     Builds the scheduler (with an LRU result cache of ``cache_size``
     entries; 0 disables caching) and serves until interrupted.
+    ``memory_budget_bytes`` turns on admission control: workers only
+    claim a job when its memory-model predicted peak fits next to the
+    jobs already running (see :class:`~repro.service.scheduler.
+    JobScheduler`).
 
     ``metrics`` (implied by ``metrics_port``) and ``trace_path``
     install an enabled observability plane for the server's lifetime —
@@ -392,7 +397,11 @@ def serve(
         previous = set_observability(plane)
     try:
         cache = ResultCache(cache_size) if cache_size > 0 else None
-        scheduler = JobScheduler(workers=workers, cache=cache)
+        scheduler = JobScheduler(
+            workers=workers,
+            cache=cache,
+            memory_budget_bytes=memory_budget_bytes,
+        )
         try:
             server = EnumerationServer(
                 scheduler,

@@ -5,11 +5,18 @@ from __future__ import annotations
 import pytest
 
 from repro.core.clique_enumerator import LevelStats, enumerate_maximal_cliques
-from repro.core.generators import complete_graph, planted_clique
+from repro.core.generators import complete_graph, erdos_renyi, planted_clique
+from repro.core.graph import Graph
 from repro.core.memory_model import (
+    DISK_RESIDENT_RATIO,
+    WAH_COMPRESSION_RATIO,
+    available_memory_bytes,
     bytes_to_unit,
     check_paper_recurrences,
     memory_profile,
+    parse_byte_size,
+    predict_profile,
+    seed_sublist_count,
 )
 
 
@@ -91,3 +98,91 @@ class TestRecurrences:
             [_stats(2, 1, 4), _stats(3, 2, 50)], 10
         )
         assert any("M[3]" in s for s in issues)
+
+
+class TestPredictProfile:
+    def test_prediction_bounds_measured_per_level(self):
+        g = erdos_renyi(40, 0.25, seed=3)
+        res = enumerate_maximal_cliques(g)
+        predicted = predict_profile(g.n, g.m, 1, seed_sublist_count(g))
+        by_k = dict(zip(predicted.sizes, predicted.predicted_bytes))
+        for ls in res.level_stats:
+            assert ls.candidate_bytes <= by_k[ls.k], (
+                f"level {ls.k}: measured {ls.candidate_bytes} exceeds "
+                f"predicted {by_k[ls.k]}"
+            )
+        _, peak_measured = memory_profile(res.level_stats).peak()
+        assert peak_measured <= predicted.peak()[1]
+
+    def test_exact_seed_count_matches_enumeration(self):
+        g = erdos_renyi(40, 0.25, seed=4)
+        res = enumerate_maximal_cliques(g)
+        level2 = next(ls for ls in res.level_stats if ls.k == 2)
+        assert seed_sublist_count(g) == level2.n_sublists
+
+    def test_empty_graph_predicts_nothing(self):
+        predicted = predict_profile(10, 0, 1)
+        assert predicted.sizes == []
+        assert predicted.peak() == (0, 0)
+        assert predicted.peak_bytes("memory") == 0
+        assert predicted.peak_bytes("wah") == 0
+        assert predicted.peak_bytes("disk") == 0
+
+    def test_store_scaling(self):
+        g = erdos_renyi(30, 0.3, seed=5)
+        predicted = predict_profile(g.n, g.m, 1, seed_sublist_count(g))
+        raw = predicted.peak_bytes("memory")
+        assert raw == predicted.peak()[1]
+        assert predicted.peak_bytes(None) == raw
+        assert predicted.peak_bytes("wah") == max(
+            1, int(raw / WAH_COMPRESSION_RATIO)
+        )
+        assert predicted.peak_bytes("disk") == max(
+            1, raw // DISK_RESIDENT_RATIO
+        )
+        assert predicted.peak_bytes("wah") < raw
+
+    def test_unknown_store_rejected(self):
+        predicted = predict_profile(5, 4, 1)
+        with pytest.raises(ValueError, match="store"):
+            predicted.peak_bytes("tape")
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            predict_profile(-1, 0, 1)
+        with pytest.raises(ValueError):
+            predict_profile(5, -1, 1)
+        with pytest.raises(ValueError):
+            predict_profile(5, 4, 0)
+
+    def test_k_max_truncates_levels(self):
+        g = complete_graph(8)
+        full = predict_profile(g.n, g.m, 1, seed_sublist_count(g))
+        capped = predict_profile(
+            g.n, g.m, 1, seed_sublist_count(g), k_max=3
+        )
+        assert max(capped.sizes) <= 3
+        assert len(capped.sizes) < len(full.sizes)
+
+    def test_seed_count_on_edgeless_graph(self):
+        assert seed_sublist_count(Graph(6)) == 0
+
+
+class TestByteSizes:
+    def test_parse_plain_and_suffixed(self):
+        assert parse_byte_size("4096") == 4096
+        assert parse_byte_size("1K") == 1024
+        assert parse_byte_size("512M") == 512 * 1024**2
+        assert parse_byte_size("2GB") == 2 * 1024**3
+        assert parse_byte_size("1T") == 1024**4
+        assert parse_byte_size(" 1 kb ") == 1024
+        assert parse_byte_size("2.5G") == int(2.5 * 1024**3)
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "MB", "12Q", "-1K", "1.2.3M"):
+            with pytest.raises(ValueError):
+                parse_byte_size(bad)
+
+    def test_available_memory_is_positive_or_unknown(self):
+        avail = available_memory_bytes()
+        assert avail is None or avail > 0

@@ -41,7 +41,9 @@ from repro.core.generators import (
     star_graph,
 )
 from repro.core.graph import Graph
+from repro.core.memory_model import predict_profile, seed_sublist_count
 from repro.engine import (
+    LEVEL_STORES,
     EnumerationConfig,
     EnumerationEngine,
     backend_table,
@@ -227,6 +229,72 @@ def test_family_sweep_full_matrix(family, seed):
     g = make_family_graph(family, seed, 30)
     assert_cross_backend_equivalence(
         g, case=f"family={family} seed={seed} n=30"
+    )
+
+
+def assert_prediction_bounds_measured(
+    g: Graph, case: str = "", k_min: int = 1, k_max: int | None = None
+) -> None:
+    """Admission control's contract: the memory model's *raw* forward
+    prediction bounds the measured candidate-storage peak of every
+    level-store substrate.  (The wah store measures its compressed
+    footprint and the disk store only a resident window, so the raw
+    bound holds for them a fortiori — asserting it against all three
+    keeps the matrix honest if a store's accounting ever changes.)"""
+    seeds = seed_sublist_count(g) if k_min <= 2 else None
+    predicted = predict_profile(g.n, g.m, k_min, seeds, k_max=k_max)
+    bound = predicted.peak_bytes("memory")
+    for store in LEVEL_STORES:
+        res = ENGINE.run(
+            g,
+            EnumerationConfig(
+                backend="incore",
+                k_min=k_min,
+                k_max=k_max,
+                level_store=store,
+            ),
+        )
+        measured = max(
+            (ls.candidate_bytes for ls in res.level_stats), default=0
+        )
+        assert measured <= bound, (
+            f"[{case}] store={store} k_min={k_min} k_max={k_max}: "
+            f"measured peak {measured} exceeds the admission "
+            f"prediction {bound}"
+        )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    family=st.sampled_from(sorted(FAMILIES)),
+    seed=st.integers(min_value=0, max_value=2**16),
+    n=st.integers(min_value=4, max_value=36),
+    k_min=st.integers(min_value=1, max_value=3),
+)
+def test_randomized_prediction_bounds_measured(family, seed, n, k_min):
+    """Any seeded family graph: prediction >= measurement (shrinkable)."""
+    note(
+        "reproduce with: assert_prediction_bounds_measured("
+        f"make_family_graph({family!r}, seed={seed}, n={n}), "
+        f"k_min={k_min})"
+    )
+    g = make_family_graph(family, seed, n)
+    assert_prediction_bounds_measured(
+        g, case=f"family={family} seed={seed} n={n}", k_min=k_min
+    )
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_prediction_bound_sweep_store_matrix(family, seed):
+    g = make_family_graph(family, seed, 24)
+    assert_prediction_bounds_measured(
+        g, case=f"family={family} seed={seed} n=24"
     )
 
 

@@ -1,0 +1,284 @@
+"""Memory-budget admission control: prediction, deferral, auto stores.
+
+The invariants pinned here are the scheduler's two admission promises:
+jobs never run concurrently over the budget, and an over-budget
+singleton still runs alone (serialisation, never deadlock) — plus the
+``level_store="auto"`` resolution that rides the same prediction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.generators import complete_graph, erdos_renyi
+from repro.core.memory_model import predict_profile, seed_sublist_count
+from repro.engine import LEVEL_STORES, EnumerationConfig, EnumerationEngine
+from repro.errors import ParameterError
+from repro.service import JobScheduler, JobSpec, JobStatus
+
+ENGINE = EnumerationEngine()
+
+
+def _graph(seed: int = 2):
+    return erdos_renyi(30, 0.3, seed=seed)
+
+
+def _predicted_cost(g, config=None) -> int:
+    """The admission charge a submission of (g, config) gets."""
+    config = config or EnumerationConfig()
+    seeds = seed_sublist_count(g) if config.k_min <= 2 else None
+    profile = predict_profile(g.n, g.m, config.k_min, seeds,
+                              k_max=config.k_max)
+    return profile.peak_bytes(config.level_store or "memory")
+
+
+class _ConcurrencyProbe:
+    """Wraps an engine's run() to record the max concurrent runs."""
+
+    def __init__(self, engine):
+        self._original = engine.run
+        self._lock = threading.Lock()
+        self.active = 0
+        self.max_active = 0
+
+    def __call__(self, graph, config=None, on_clique=None):
+        with self._lock:
+            self.active += 1
+            self.max_active = max(self.max_active, self.active)
+        try:
+            time.sleep(0.01)  # widen the overlap window
+            return self._original(graph, config, on_clique)
+        finally:
+            with self._lock:
+                self.active -= 1
+
+
+class TestPrediction:
+    def test_predicted_peak_recorded_and_bounds_measured(self):
+        g = _graph()
+        with JobScheduler(workers=1) as sched:
+            job = sched.submit(JobSpec(graph=g)).wait(30)
+        assert job.status is JobStatus.DONE
+        assert job.predicted_peak_bytes is not None
+        assert job.predicted_peak_bytes > 0
+        payload = job.to_dict()
+        assert payload["predicted_peak_bytes"] == job.predicted_peak_bytes
+        assert payload["measured_peak_bytes"] <= job.predicted_peak_bytes
+
+    def test_unloadable_graph_predicts_none_and_fails_at_dispatch(self):
+        with JobScheduler(workers=1) as sched:
+            job = sched.submit(
+                JobSpec(graph="/nonexistent/g.json")
+            ).wait(30)
+        assert job.predicted_peak_bytes is None
+        assert job.status is JobStatus.FAILED
+        assert "nonexistent" in job.error
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ParameterError, match="memory_budget_bytes"):
+            JobScheduler(workers=1, memory_budget_bytes=-1)
+
+
+class TestAdmission:
+    def test_budget_below_two_jobs_serialises_execution(self):
+        g = _graph()
+        cost = _predicted_cost(g)
+        # one job fits, two do not: execution must serialise
+        with JobScheduler(
+            workers=4, memory_budget_bytes=cost + cost // 2
+        ) as sched:
+            probe = _ConcurrencyProbe(sched.engine)
+            sched.engine.run = probe
+            jobs = [
+                sched.submit(JobSpec(graph=g, use_cache=False))
+                for _ in range(6)
+            ]
+            sched.drain(60)
+        assert all(j.status is JobStatus.DONE for j in jobs)
+        assert probe.max_active == 1
+        stats = sched.stats()
+        assert stats["admission"]["admitted_total"] == 6
+        assert stats["admission"]["deferred_total"] >= 1
+        assert stats["admission"]["admitted_bytes"] == 0
+
+    def test_over_budget_singleton_runs_alone_not_deadlock(self):
+        g = _graph()
+        # every job is bigger than the whole budget; each must still
+        # run (alone) instead of starving the queue
+        with JobScheduler(workers=2, memory_budget_bytes=1) as sched:
+            probe = _ConcurrencyProbe(sched.engine)
+            sched.engine.run = probe
+            jobs = [
+                sched.submit(JobSpec(graph=g, use_cache=False))
+                for _ in range(3)
+            ]
+            sched.drain(60)
+        assert all(j.status is JobStatus.DONE for j in jobs)
+        assert probe.max_active == 1
+
+    def test_zero_budget_is_legal_and_serialises(self):
+        g = _graph()
+        with JobScheduler(workers=2, memory_budget_bytes=0) as sched:
+            jobs = [
+                sched.submit(JobSpec(graph=g, use_cache=False))
+                for _ in range(2)
+            ]
+            sched.drain(60)
+        assert all(j.status is JobStatus.DONE for j in jobs)
+
+    def test_no_budget_never_defers(self):
+        g = _graph()
+        with JobScheduler(workers=2) as sched:
+            for _ in range(4):
+                sched.submit(JobSpec(graph=g, use_cache=False))
+            sched.drain(60)
+            stats = sched.stats()
+        assert stats["admission"]["budget_bytes"] is None
+        assert stats["admission"]["admitted_total"] == 4
+        assert stats["admission"]["deferred_total"] == 0
+
+    def test_deferred_job_counts_as_queued_in_stats(self):
+        g = _graph()
+        cost = _predicted_cost(g)
+        with JobScheduler(
+            workers=2, memory_budget_bytes=cost
+        ) as sched:
+            release = threading.Event()
+            started = threading.Event()
+            original = sched.engine.run
+
+            def gated(graph, config=None, on_clique=None):
+                started.set()
+                release.wait(30)
+                return original(graph, config, on_clique)
+
+            sched.engine.run = gated
+            blocker = sched.submit(JobSpec(graph=g, use_cache=False))
+            assert started.wait(30)
+            deferred = sched.submit(JobSpec(graph=g, use_cache=False))
+            # wait for the idle worker to pull and defer the second job
+            deadline = time.monotonic() + 10
+            while (
+                sched.stats()["admission"]["deferred_total"] == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            stats = sched.stats()
+            assert stats["admission"]["deferred_total"] >= 1
+            assert stats["queued"] == 1  # the deferred job is pending
+            assert stats["jobs"]["running"] == 1
+            sched.engine.run = original
+            release.set()
+            sched.drain(30)
+        assert blocker.status is JobStatus.DONE
+        assert deferred.status is JobStatus.DONE
+
+    def test_cancel_while_admitted_releases_budget(self):
+        g = _graph()
+        cost = _predicted_cost(g)
+        with JobScheduler(
+            workers=2, memory_budget_bytes=cost
+        ) as sched:
+            release = threading.Event()
+            started = threading.Event()
+            original = sched.engine.run
+
+            def gated(graph, config=None, on_clique=None):
+                started.set()
+                release.wait(30)
+                return original(graph, config, on_clique)
+
+            sched.engine.run = gated
+            victim = sched.submit(JobSpec(graph=g, use_cache=False))
+            assert started.wait(30)
+            assert (
+                sched.stats()["admission"]["admitted_bytes"] == cost
+            )
+            sched.engine.run = original
+            follower = sched.submit(JobSpec(graph=g, use_cache=False))
+            assert sched.cancel(victim.id)  # cooperative: flag only
+            release.set()
+            sched.drain(30)
+            stats = sched.stats()
+        assert victim.status is JobStatus.CANCELLED
+        assert follower.status is JobStatus.DONE
+        assert stats["admission"]["admitted_bytes"] == 0
+
+    def test_deferred_jobs_complete_on_draining_shutdown(self):
+        g = _graph()
+        cost = _predicted_cost(g)
+        sched = JobScheduler(workers=2, memory_budget_bytes=cost)
+        jobs = [
+            sched.submit(JobSpec(graph=g, use_cache=False))
+            for _ in range(4)
+        ]
+        # deferred entries sort ahead of the shutdown sentinels, so a
+        # draining shutdown must finish them, never strand them
+        sched.shutdown(wait=True)
+        assert all(j.status is JobStatus.DONE for j in jobs)
+
+
+class TestAutoStore:
+    def test_auto_resolves_to_wah_under_wah_sized_budget(self):
+        g = _graph()
+        config = EnumerationConfig(level_store="auto")
+        seeds = seed_sublist_count(g)
+        profile = predict_profile(g.n, g.m, config.k_min, seeds,
+                                  k_max=config.k_max)
+        budget = profile.peak_bytes("wah")
+        assert budget < profile.peak_bytes("memory")
+        with JobScheduler(
+            workers=1, memory_budget_bytes=budget
+        ) as sched:
+            job = sched.submit(JobSpec(graph=g, config=config)).wait(30)
+        assert job.status is JobStatus.DONE
+        assert job.resolved_config.level_store == "wah"
+        assert job.to_dict()["level_store"] == "wah"
+        # the admission charge is the *resolved* substrate's estimate
+        assert job.predicted_peak_bytes == budget
+        # byte-identical cliques against the uncompressed substrate
+        reference = ENGINE.run(
+            g, EnumerationConfig(level_store="memory")
+        )
+        assert sorted(job.result.cliques) == sorted(reference.cliques)
+
+    def test_auto_resolves_to_disk_when_nothing_fits(self):
+        g = _graph()
+        config = EnumerationConfig(level_store="auto")
+        with JobScheduler(workers=1, memory_budget_bytes=1) as sched:
+            job = sched.submit(JobSpec(graph=g, config=config)).wait(30)
+        assert job.status is JobStatus.DONE
+        assert job.resolved_config.level_store == "disk"
+        reference = ENGINE.run(
+            g, EnumerationConfig(level_store="memory")
+        )
+        assert sorted(job.result.cliques) == sorted(reference.cliques)
+
+    def test_auto_without_budget_resolves_to_some_concrete_store(self):
+        # no scheduler budget: resolution falls back to the machine's
+        # available memory — whatever it picks must be concrete
+        g = complete_graph(6)
+        config = EnumerationConfig(level_store="auto")
+        with JobScheduler(workers=1) as sched:
+            job = sched.submit(JobSpec(graph=g, config=config)).wait(30)
+        assert job.status is JobStatus.DONE
+        assert job.resolved_config.level_store in LEVEL_STORES
+        assert job.result.cliques == [(0, 1, 2, 3, 4, 5)]
+
+    def test_auto_jobs_cache_on_resolved_substrate(self):
+        # two identical auto submissions: the second must hit the
+        # cache entry keyed by the *resolved* config
+        g = _graph()
+        config = EnumerationConfig(level_store="auto")
+        with JobScheduler(workers=1) as sched:
+            first = sched.submit(JobSpec(graph=g, config=config)).wait(30)
+            second = sched.submit(JobSpec(graph=g, config=config)).wait(30)
+        assert first.status is JobStatus.DONE
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert sorted(second.result.cliques) == sorted(
+            first.result.cliques
+        )

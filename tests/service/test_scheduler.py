@@ -273,6 +273,41 @@ class TestPriorityAndCancellation:
         job = sched.submit(JobSpec(graph=complete_graph(3))).wait(30)
         assert not sched.cancel(job.id)
 
+    def test_cancel_running_check_holds_scheduler_lock(self):
+        """Regression: cancel() once checked ``status is RUNNING``
+        *outside* the lock, so a worker finishing concurrently could
+        turn the acknowledged cancellation into a claim against an
+        already-terminal job.  Now the check and the flag-set happen
+        under the same lock every terminal transition takes."""
+        with JobScheduler(workers=1) as sched:
+            release = threading.Event()
+            started = threading.Event()
+            original = sched.engine.run
+
+            def gated(graph, config=None, on_clique=None):
+                started.set()
+                release.wait(30)
+                return original(graph, config, on_clique)
+
+            sched.engine.run = gated
+            job = sched.submit(JobSpec(graph=complete_graph(3)))
+            assert started.wait(30)
+            held_at_set: list[bool] = []
+            real_set = job._cancel.set
+
+            def recording_set():
+                held_at_set.append(sched._lock._is_owned())
+                real_set()
+
+            job._cancel.set = recording_set
+            assert sched.cancel(job.id)
+            job._cancel.set = real_set
+            sched.engine.run = original
+            release.set()
+            job.wait(30)
+            assert held_at_set == [True]
+            assert job.status is JobStatus.CANCELLED
+
 
 class TestShutdown:
     def test_shutdown_rejects_new_submissions(self):
@@ -396,3 +431,34 @@ class TestStats:
         assert stats["workers"] == 2
         assert stats["jobs"]["done"] == 1
         assert stats["cache"]["misses"] == 1
+        assert stats["admission"]["budget_bytes"] is None
+
+    def test_stats_queued_counts_pending_jobs_not_queue_entries(self):
+        """Regression: ``stats()["queued"]`` used to report the raw
+        ``Queue.qsize()``, which counts stale entries for jobs already
+        cancelled while pending (and, post-shutdown, the worker
+        sentinels).  It must report jobs actually waiting to run."""
+        with JobScheduler(workers=1) as sched:
+            release = threading.Event()
+            started = threading.Event()
+            original = sched.engine.run
+
+            def gated(graph, config=None, on_clique=None):
+                started.set()
+                release.wait(30)
+                return original(graph, config, on_clique)
+
+            sched.engine.run = gated
+            blocker = sched.submit(JobSpec(graph=complete_graph(3)))
+            assert started.wait(30)
+            sched.engine.run = original
+            victim = sched.submit(JobSpec(graph=complete_graph(4)))
+            assert sched.stats()["queued"] == 1
+            assert sched.cancel(victim.id)
+            # the cancelled job's queue entry is still enqueued, but it
+            # is no longer *queued work*
+            assert sched.stats()["queued"] == 0
+            release.set()
+            sched.drain(30)
+            assert blocker.status is JobStatus.DONE
+            assert sched.stats()["queued"] == 0

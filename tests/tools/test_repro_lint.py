@@ -428,6 +428,96 @@ class TestRL004:
         assert lint_project(tmp_path, select=["RL004"]) == []
 
 
+STRICT_RL004 = dedent_tree({
+    # the strict-read module set names this exact path: reads of
+    # protected attrs must hold the lock here, not just mutations
+    "src/repro/service/cache.py": """\
+        import threading
+
+        class ResultCache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = {}
+                self.hits = 0
+
+            def get(self, key):
+                with self._lock:
+                    self.hits += 1
+                    return self._entries.get(key)
+
+            def put(self, key, value):
+                with self._lock:
+                    self._entries[key] = value
+
+            def __len__(self):
+                with self._lock:
+                    return len(self._entries)
+
+            def fold_into(self, out):
+                with self._lock:
+                    out["cache_hits"] = self.hits
+        """
+})
+
+
+class TestRL004StrictReads:
+    def test_all_reads_locked_is_clean(self, tmp_path):
+        write_tree(tmp_path, STRICT_RL004)
+        assert lint_project(tmp_path, select=["RL004"]) == []
+
+    def test_unlocked_read_in_strict_module_fires(self, tmp_path):
+        # the pre-fix ResultCache bug shape: fold_into snapshots a
+        # lock-guarded tally without the lock (torn read)
+        files = dict(STRICT_RL004)
+        files["src/repro/service/cache.py"] = files[
+            "src/repro/service/cache.py"
+        ].replace(
+            "def fold_into(self, out):\n"
+            "        with self._lock:\n"
+            "            out[\"cache_hits\"] = self.hits",
+            "def fold_into(self, out):\n"
+            "        out[\"cache_hits\"] = self.hits",
+        )
+        write_tree(tmp_path, files)
+        violations = lint_project(tmp_path, select=["RL004"])
+        assert codes(violations) == {"RL004"}
+        assert any(
+            "reads" in v.message and "'hits'" in v.message
+            for v in violations
+        )
+
+    def test_unlocked_dunder_read_in_strict_module_fires(self, tmp_path):
+        files = dict(STRICT_RL004)
+        files["src/repro/service/cache.py"] = files[
+            "src/repro/service/cache.py"
+        ].replace(
+            "def __len__(self):\n"
+            "        with self._lock:\n"
+            "            return len(self._entries)",
+            "def __len__(self):\n"
+            "        return len(self._entries)",
+        )
+        write_tree(tmp_path, files)
+        violations = lint_project(tmp_path, select=["RL004"])
+        assert any(
+            "reads" in v.message and "'_entries'" in v.message
+            for v in violations
+        )
+
+    def test_reads_unenforced_outside_strict_modules(self, tmp_path):
+        # identical class in a non-strict module: unlocked reads stay
+        # legal there (mutation discipline still applies)
+        text = STRICT_RL004["src/repro/service/cache.py"].replace(
+            "def fold_into(self, out):\n"
+            "        with self._lock:\n"
+            "            out[\"cache_hits\"] = self.hits",
+            "def fold_into(self, out):\n"
+            "        out[\"cache_hits\"] = self.hits",
+        )
+        write_tree(tmp_path, {"src/other.py": text})
+        assert lint_project(tmp_path, select=["RL004"]) == []
+
+
 # -- RL005: single-pass store contract ----------------------------------------
 
 GOOD_RL005 = dedent_tree({

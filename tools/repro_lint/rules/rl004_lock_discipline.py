@@ -19,6 +19,14 @@ Exemptions mirror repo conventions: ``__init__`` (object under
 construction, not yet shared) and methods whose name ends in
 ``_locked`` (the caller-holds-the-lock helper convention, e.g.
 ``_prune_jobs_locked``).
+
+Strict read discipline: for the modules named in
+``_STRICT_READ_MODULES``, *reads* of protected attributes must hold
+the lock too.  Mutation-only checking cannot see the torn-snapshot
+class of bug (``ResultCache.fold_into`` once read three tallies a
+worker could bump mid-read); read-side enforcement is opt-in per
+module because it is only sound where every exported view is meant to
+be a consistent snapshot.
 """
 
 from __future__ import annotations
@@ -41,6 +49,10 @@ _LOCK_FACTORIES = {
     "RLock",
     "Condition",
 }
+
+#: modules (project-relative paths) under strict read discipline:
+#: reads of protected attributes must hold the lock as well.
+_STRICT_READ_MODULES = {"src/repro/service/cache.py"}
 
 #: method names that mutate the common containers in place.
 _MUTATOR_METHODS = {
@@ -89,18 +101,30 @@ def _flatten_targets(target: ast.expr) -> list[ast.expr]:
 
 
 class _MutationVisitor(ast.NodeVisitor):
-    """Collects ``(attr, lineno, locks_held)`` mutation records."""
+    """Collects ``(attr, lineno, locks_held)`` mutation and read records."""
 
     def __init__(self, lock_attrs: set[str]):
         self.lock_attrs = lock_attrs
         self.lock_stack: list[str] = []
         self.records: list[tuple[str, int, frozenset[str]]] = []
+        self.reads: list[tuple[str, int, frozenset[str]]] = []
 
     def _record(self, attr: str | None, lineno: int) -> None:
         if attr is not None and attr not in self.lock_attrs:
             self.records.append(
                 (attr, lineno, frozenset(self.lock_stack))
             )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # every `self.x` evaluated (Load context) is a read record;
+        # mutation targets carry Store/Del contexts and stay out
+        if isinstance(node.ctx, ast.Load):
+            attr = self_attr(node)
+            if attr is not None and attr not in self.lock_attrs:
+                self.reads.append(
+                    (attr, node.lineno, frozenset(self.lock_stack))
+                )
+        self.generic_visit(node)
 
     def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
         held = [
@@ -179,7 +203,11 @@ def check(project: Project) -> list[Violation]:
             locks = _lock_attrs(cls)
             if not locks:
                 continue
+            strict_reads = src.relpath in _STRICT_READ_MODULES
             per_method: dict[
+                str, list[tuple[str, int, frozenset[str]]]
+            ] = {}
+            per_method_reads: dict[
                 str, list[tuple[str, int, frozenset[str]]]
             ] = {}
             for stmt in cls.body:
@@ -190,6 +218,7 @@ def check(project: Project) -> list[Violation]:
                 visitor = _MutationVisitor(locks)
                 visitor.visit(stmt)
                 per_method[stmt.name] = visitor.records
+                per_method_reads[stmt.name] = visitor.reads
             # protected attr -> the lock(s) seen guarding it
             protected: dict[str, set[str]] = {}
             for records in per_method.values():
@@ -199,21 +228,25 @@ def check(project: Project) -> list[Violation]:
             for method, records in per_method.items():
                 if method == "__init__" or method.endswith("_locked"):
                     continue
-                for attr, lineno, held in records:
-                    guards = protected.get(attr)
-                    if guards and not (held & guards):
-                        lock_names = "/".join(
-                            f"self.{g}" for g in sorted(guards)
-                        )
-                        violations.append(
-                            Violation(
-                                "RL004",
-                                src.relpath,
-                                lineno,
-                                f"{cls.name}.{method} mutates "
-                                f"'{attr}' without holding "
-                                f"{lock_names} (other code paths "
-                                "mutate it under the lock)",
+                checks = [("mutates", records)]
+                if strict_reads:
+                    checks.append(("reads", per_method_reads[method]))
+                for verb, recs in checks:
+                    for attr, lineno, held in recs:
+                        guards = protected.get(attr)
+                        if guards and not (held & guards):
+                            lock_names = "/".join(
+                                f"self.{g}" for g in sorted(guards)
                             )
-                        )
+                            violations.append(
+                                Violation(
+                                    "RL004",
+                                    src.relpath,
+                                    lineno,
+                                    f"{cls.name}.{method} {verb} "
+                                    f"'{attr}' without holding "
+                                    f"{lock_names} (other code paths "
+                                    "mutate it under the lock)",
+                                )
+                            )
     return violations
